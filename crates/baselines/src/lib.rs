@@ -1,0 +1,20 @@
+//! Baseline models the paper compares against.
+//!
+//! - [`Gcnii`] — the "vanilla deep GNN" baseline of Table 5: GCNII
+//!   (Chen et al., ICML'20) with residual connections and identity mapping
+//!   (paper Eq. 3, α = β = 0.1) over the undirected pin graph, stacked 4,
+//!   8 or 16 layers deep. Its limited receptive field and over-smoothing
+//!   are exactly what the timer-inspired model is designed to escape.
+//! - [`RandomForest`] / [`DecisionTree`] — the statistics-feature
+//!   random-forest net-delay predictor of Barboza et al. (DAC'19), the
+//!   stronger classical baseline of Table 4.
+//! - [`stats`] — the hand-engineered per-sink net features (wire span,
+//!   fan-out, capacitance, placement context) those classical models
+//!   consume, plus an MLP baseline over the same features.
+
+pub mod forest;
+mod gcnii;
+pub mod stats;
+
+pub use forest::{DecisionTree, ForestConfig, RandomForest};
+pub use gcnii::{Gcnii, GcniiConfig, GcniiTrainer, NormalizedGraph};

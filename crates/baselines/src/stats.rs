@@ -1,0 +1,277 @@
+//! Hand-engineered net statistics features (Barboza et al., DAC'19 style)
+//! and the MLP baseline over them — Table 4's "Statistics-based" columns.
+//!
+//! For each net sink the feature vector captures exactly the local
+//! information a pre-routing net-delay regressor can see: wire span,
+//! fan-out, sink load, and placement context. No graph structure beyond
+//! the immediate net is available — which is why these models generalize
+//! worse than the net-embedding GNN with its multi-hop receptive field.
+
+use tp_data::{DesignGraph, PIN_FEATURES};
+
+/// Width of the engineered feature vector.
+pub const STATS_FEATURES: usize = 16;
+
+/// Per-sink engineered features plus targets.
+#[derive(Debug, Clone, Default)]
+pub struct StatsDataset {
+    /// Flattened `[n, STATS_FEATURES]` feature rows.
+    pub x: Vec<f32>,
+    /// Net delay targets per corner, `[n][4]`.
+    pub y: Vec<[f32; 4]>,
+    /// The sink pin index behind each row.
+    pub pins: Vec<usize>,
+}
+
+impl StatsDataset {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Appends another dataset (used to pool the 14 training designs).
+    pub fn extend(&mut self, other: &StatsDataset) {
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        self.pins.extend_from_slice(&other.pins);
+    }
+
+    /// Targets for one corner as a flat vector.
+    pub fn targets_for_corner(&self, corner: usize) -> Vec<f32> {
+        self.y.iter().map(|t| t[corner]).collect()
+    }
+}
+
+/// Extracts the engineered per-sink dataset from a lowered design.
+///
+/// Features per net sink (16), all **net-local** in the spirit of Barboza
+/// et al.: sink span |Δx|, |Δy|, |Δx|+|Δy|, |Δx|·|Δy|; net fan-out and its
+/// log; sink pin caps (4 corners); the net's maximum and total sibling
+/// span; total sink capacitance on the net; driver/sink port flags; bias.
+pub fn net_delay_features(design: &DesignGraph) -> StatsDataset {
+    let pf = design.pin_features.data();
+    let ef = design.net_edge_features.data();
+    let nd = design.net_delay.data();
+
+    // Per-driver net aggregates: fan-out, max/total sibling span, total cap.
+    let n = design.num_pins;
+    let mut fanout = vec![0usize; n];
+    let mut max_span = vec![0.0f32; n];
+    let mut sum_span = vec![0.0f32; n];
+    let mut sum_cap = vec![0.0f32; n];
+    for (e, (&src, &dst)) in design.net_src.iter().zip(&design.net_dst).enumerate() {
+        let span = ef[e * 2] + ef[e * 2 + 1];
+        fanout[src] += 1;
+        max_span[src] = max_span[src].max(span);
+        sum_span[src] += span;
+        sum_cap[src] += pf[dst * PIN_FEATURES + 8]; // late-rise sink cap
+    }
+
+    let mut out = StatsDataset::default();
+    for (e, (&src, &dst)) in design.net_src.iter().zip(&design.net_dst).enumerate() {
+        let dx = ef[e * 2];
+        let dy = ef[e * 2 + 1];
+        let sink_row = &pf[dst * PIN_FEATURES..(dst + 1) * PIN_FEATURES];
+        let drv_row = &pf[src * PIN_FEATURES..(src + 1) * PIN_FEATURES];
+        let fo = fanout[src] as f32;
+        let mut row = [0.0f32; STATS_FEATURES];
+        row[0] = dx;
+        row[1] = dy;
+        row[2] = dx + dy;
+        row[3] = dx * dy;
+        row[4] = fo;
+        row[5] = (1.0 + fo).ln();
+        row[6..10].copy_from_slice(&sink_row[6..10]); // sink caps, 4 corners
+        row[10] = max_span[src];
+        row[11] = sum_span[src];
+        row[12] = sum_cap[src];
+        row[13] = drv_row[0]; // driver is port
+        row[14] = sink_row[0]; // sink is port
+        row[15] = 1.0;
+        out.x.extend_from_slice(&row);
+        out.y.push([
+            nd[dst * 4],
+            nd[dst * 4 + 1],
+            nd[dst * 4 + 2],
+            nd[dst * 4 + 3],
+        ]);
+        out.pins.push(dst);
+    }
+    out
+}
+
+/// Per-feature standardization parameters fitted on a training pool.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits mean/std per feature column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &StatsDataset) -> Standardizer {
+        assert!(!data.is_empty(), "cannot standardize an empty dataset");
+        let n = data.len() as f64;
+        let mut mean = vec![0.0f64; STATS_FEATURES];
+        let mut var = vec![0.0f64; STATS_FEATURES];
+        for row in data.x.chunks(STATS_FEATURES) {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        for row in data.x.chunks(STATS_FEATURES) {
+            for ((va, &m), &v) in var.iter_mut().zip(&mean).zip(row) {
+                let d = v as f64 - m;
+                *va += d * d;
+            }
+        }
+        Standardizer {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            std: var
+                .iter()
+                .map(|&v| ((v / n).sqrt() as f32).max(1e-6))
+                .collect(),
+        }
+    }
+
+    /// Standardizes a dataset in place.
+    pub fn apply(&self, data: &mut StatsDataset) {
+        for row in data.x.chunks_mut(STATS_FEATURES) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+}
+
+/// Trains one [`RandomForest`](crate::RandomForest) per corner over pooled
+/// stats features.
+pub mod rf4 {
+    use super::StatsDataset;
+    use crate::{ForestConfig, RandomForest};
+
+    /// Four per-corner forests.
+    #[derive(Debug, Clone)]
+    pub struct ForestPerCorner {
+        forests: Vec<RandomForest>,
+    }
+
+    impl ForestPerCorner {
+        /// Fits one forest per timing corner.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `data` is empty.
+        pub fn fit(data: &StatsDataset, config: &ForestConfig) -> ForestPerCorner {
+            let forests = (0..4)
+                .map(|c| {
+                    RandomForest::fit(
+                        &data.x,
+                        &data.targets_for_corner(c),
+                        super::STATS_FEATURES,
+                        config,
+                    )
+                })
+                .collect();
+            ForestPerCorner { forests }
+        }
+
+        /// Predicts all 4 corners for every row; returns flattened
+        /// `[n × 4]` in row-major (matching flattened truth).
+        pub fn predict_flat(&self, data: &StatsDataset) -> Vec<f32> {
+            let n = data.len();
+            let mut out = vec![0.0f32; n * 4];
+            for (c, f) in self.forests.iter().enumerate() {
+                let preds = f.predict_batch(&data.x);
+                for (i, p) in preds.into_iter().enumerate() {
+                    out[i * 4 + c] = p;
+                }
+            }
+            out
+        }
+    }
+
+    /// Flattens the dataset's truth to match
+    /// [`ForestPerCorner::predict_flat`].
+    pub fn truth_flat(data: &StatsDataset) -> Vec<f32> {
+        let mut out = Vec::with_capacity(data.len() * 4);
+        for t in &data.y {
+            out.extend_from_slice(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_data::{Dataset, DatasetConfig};
+    use tp_gen::GeneratorConfig;
+    use tp_liberty::Library;
+
+    fn tiny() -> DesignGraph {
+        let lib = Library::synthetic_sky130(0);
+        let ds = Dataset::build_suite(
+            &lib,
+            &DatasetConfig {
+                generator: GeneratorConfig {
+                    scale: 0.002,
+                    seed: 2,
+                    depth: Some(6),
+                },
+                ..Default::default()
+            },
+        );
+        ds.designs()[18].clone()
+    }
+
+    #[test]
+    fn one_row_per_net_edge() {
+        let d = tiny();
+        let s = net_delay_features(&d);
+        assert_eq!(s.len(), d.num_net_edges());
+        assert_eq!(s.x.len(), s.len() * STATS_FEATURES);
+    }
+
+    #[test]
+    fn hpwl_feature_consistent() {
+        let d = tiny();
+        let s = net_delay_features(&d);
+        for i in 0..s.len() {
+            let row = &s.x[i * STATS_FEATURES..(i + 1) * STATS_FEATURES];
+            assert!((row[2] - (row[0] + row[1])).abs() < 1e-6);
+            assert!(row[4] >= 1.0, "fan-out at least 1");
+            assert!(row[10] + 1e-6 >= row[2], "net max span covers own span");
+        }
+    }
+
+    #[test]
+    fn forest_learns_net_delay() {
+        let d = tiny();
+        let s = net_delay_features(&d);
+        let f = rf4::ForestPerCorner::fit(
+            &s,
+            &crate::ForestConfig {
+                num_trees: 5,
+                max_depth: 8,
+                ..Default::default()
+            },
+        );
+        let pred = f.predict_flat(&s);
+        let truth = rf4::truth_flat(&s);
+        let r2 = tp_data::r2_score(&truth, &pred);
+        assert!(r2 > 0.5, "in-sample forest R2 too low: {r2}");
+    }
+}

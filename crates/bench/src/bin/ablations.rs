@@ -1,0 +1,90 @@
+//! Architecture ablation study (DESIGN.md §3): measures how much each of
+//! the model's timing-engine-inspired ingredients contributes, beyond the
+//! paper's Table-5 loss ablations:
+//!
+//! - **no max channel** — reduction uses sum only (paper Sec. 3.3: both
+//!   channels mirror an STA engine's max-reduce over fan-in),
+//! - **no LUT module** — the Kronecker LUT-interpolation module is
+//!   replaced by a flags-only view (the model loses the NLDM tables),
+//! - **no net embedding** — the propagation stage starts from zeros
+//!   instead of the learned net embeddings (stages decoupled).
+
+use tp_bench::{build_dataset, fmt_r2, print_table, ExperimentConfig};
+use tp_data::Dataset;
+use tp_gnn::{Ablation, ModelConfig, TimingGnn, TrainConfig, Trainer};
+
+fn train(dataset: &Dataset, cfg: &ExperimentConfig, ablation: Ablation) -> Trainer {
+    let model_cfg = ModelConfig {
+        ablation,
+        ..cfg.model_config()
+    };
+    let mut trainer = Trainer::new(
+        TimingGnn::new(&model_cfg),
+        TrainConfig {
+            epochs: cfg.epochs,
+            ..Default::default()
+        },
+    );
+    trainer.fit(dataset);
+    trainer
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let (_library, dataset) = build_dataset(&cfg);
+
+    let variants: [(&str, Ablation); 4] = [
+        ("full model", Ablation::default()),
+        (
+            "no max channel",
+            Ablation {
+                no_max_channel: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "no LUT module",
+            Ablation {
+                no_lut_module: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "no net embedding",
+            Ablation {
+                no_net_embedding: true,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, ablation) in variants {
+        eprintln!("[ablations] training `{name}`…");
+        let mut trainer = train(&dataset, &cfg, ablation);
+        let mut train_acc = (0.0, 0usize);
+        let mut test_acc = (0.0, 0usize);
+        for d in dataset.designs() {
+            let r2 = trainer.evaluate_arrival_r2(d);
+            if d.is_train {
+                train_acc = (train_acc.0 + r2, train_acc.1 + 1);
+            } else {
+                test_acc = (test_acc.0 + r2, test_acc.1 + 1);
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            fmt_r2(train_acc.0 / train_acc.1.max(1) as f64),
+            fmt_r2(test_acc.0 / test_acc.1.max(1) as f64),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Architecture ablations — endpoint arrival R² (scale {:.4}, {} epochs)",
+            cfg.scale, cfg.epochs
+        ),
+        &["variant", "Avg. Train", "Avg. Test"],
+        &rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Quick training-quality probe (not a paper artifact): trains the full
+//! model briefly and prints train/test arrival R² so hyper-parameters can
+//! be sanity-checked before regenerating the tables.
+
+use tp_bench::{build_dataset, ExperimentConfig};
+use tp_gnn::{TimingGnn, TrainConfig, Trainer};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let (_library, dataset) = build_dataset(&cfg);
+    let model = TimingGnn::new(&cfg.model_config());
+    let mut trainer = Trainer::new(
+        model,
+        TrainConfig {
+            epochs: cfg.epochs,
+            log_every: 5,
+            ..Default::default()
+        },
+    );
+    let history = trainer.fit(&dataset);
+    let last = history.last().expect("at least one epoch");
+    println!("final loss: {:.5} ({:.1}s/epoch)", last.total, last.seconds);
+    for d in dataset.designs() {
+        let r2 = trainer.evaluate_arrival_r2(d);
+        println!(
+            "{:<6} {:<14} arrival R2 = {:+.4}",
+            if d.is_train { "train" } else { "TEST" },
+            d.name,
+            r2
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Shared harness for the table/figure regeneration binaries and the
+//! criterion benches.
+//!
+//! Every experiment binary reads a common [`ExperimentConfig`] from the
+//! environment so the whole evaluation can be scaled up or down without
+//! recompiling:
+//!
+//! | variable      | meaning                              | default |
+//! |---------------|--------------------------------------|---------|
+//! | `TP_SCALE`    | design-size multiplier vs. Table 1   | `0.03125` (1/32) |
+//! | `TP_EPOCHS`   | training epochs                      | `40`    |
+//! | `TP_SEED`     | base RNG seed                        | `42`    |
+//! | `TP_EMBED`    | net-embedding width                  | `12`    |
+//! | `TP_PROP`     | propagation state width              | `20`    |
+//! | `TP_HIDDEN`   | MLP hidden width                     | `32`    |
+//!
+//! Binaries (one per paper artifact — see `DESIGN.md` §3):
+//! `table1`, `table4`, `table5`, `figure1`, `figure4`.
+
+use std::time::Instant;
+
+use tp_data::{Dataset, DatasetConfig};
+use tp_gen::GeneratorConfig;
+use tp_liberty::Library;
+
+/// Experiment-wide knobs, read from the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Design-size multiplier against the paper's Table 1.
+    pub scale: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Net-embedding width.
+    pub embed_dim: usize,
+    /// Propagation state width.
+    pub prop_dim: usize,
+    /// MLP hidden width.
+    pub hidden: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 1.0 / 32.0,
+            epochs: 40,
+            seed: 42,
+            embed_dim: 12,
+            prop_dim: 20,
+            hidden: 32,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl ExperimentConfig {
+    /// Reads the configuration from `TP_*` environment variables.
+    pub fn from_env() -> ExperimentConfig {
+        let d = ExperimentConfig::default();
+        ExperimentConfig {
+            scale: env_parse("TP_SCALE", d.scale),
+            epochs: env_parse("TP_EPOCHS", d.epochs),
+            seed: env_parse("TP_SEED", d.seed),
+            embed_dim: env_parse("TP_EMBED", d.embed_dim),
+            prop_dim: env_parse("TP_PROP", d.prop_dim),
+            hidden: env_parse("TP_HIDDEN", d.hidden),
+        }
+    }
+
+    /// The dataset configuration this experiment config implies.
+    pub fn dataset_config(&self) -> DatasetConfig {
+        DatasetConfig {
+            generator: GeneratorConfig {
+                scale: self.scale,
+                seed: self.seed,
+                depth: None,
+            },
+            placement_seed: self.seed.wrapping_mul(31),
+            ..Default::default()
+        }
+    }
+
+    /// The model configuration this experiment config implies.
+    pub fn model_config(&self) -> tp_gnn::ModelConfig {
+        tp_gnn::ModelConfig {
+            embed_dim: self.embed_dim,
+            prop_dim: self.prop_dim,
+            hidden: vec![self.hidden, self.hidden],
+            seed: self.seed,
+            ablation: Default::default(),
+        }
+    }
+}
+
+/// Builds the library + full 21-design dataset, logging progress.
+pub fn build_dataset(cfg: &ExperimentConfig) -> (Library, Dataset) {
+    eprintln!(
+        "[harness] building 21-design suite at scale {:.4} (TP_SCALE to change)…",
+        cfg.scale
+    );
+    let t0 = Instant::now();
+    let library = Library::synthetic_sky130(cfg.seed);
+    let dataset = Dataset::build_suite(&library, &cfg.dataset_config());
+    eprintln!(
+        "[harness] dataset ready in {:.1}s ({} designs)",
+        t0.elapsed().as_secs_f64(),
+        dataset.designs().len()
+    );
+    (library, dataset)
+}
+
+/// Renders an ASCII table with right-aligned numeric columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats an R² for table cells.
+pub fn fmt_r2(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply() {
+        let cfg = ExperimentConfig::default();
+        assert!(cfg.scale > 0.0);
+        assert!(cfg.epochs > 0);
+    }
+
+    #[test]
+    fn model_config_uses_dims() {
+        let cfg = ExperimentConfig {
+            embed_dim: 5,
+            prop_dim: 7,
+            hidden: 9,
+            ..Default::default()
+        };
+        let mc = cfg.model_config();
+        assert_eq!(mc.embed_dim, 5);
+        assert_eq!(mc.prop_dim, 7);
+        assert_eq!(mc.hidden, vec![9, 9]);
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+    }
+}

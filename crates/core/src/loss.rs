@@ -1,0 +1,177 @@
+//! The training objective (paper Sec. 3.4, Eqs. 4–7).
+
+use tp_data::DesignGraph;
+use tp_tensor::ops::elementwise::mask_rows;
+use tp_tensor::Tensor;
+
+use crate::{Prediction, PropPlan};
+
+/// Which auxiliary tasks accompany the main arrival/slew loss — the
+/// Table-5 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuxMode {
+    /// Eq. (7): arrival/slew + cell-delay + net-delay (the paper's "Full").
+    #[default]
+    Full,
+    /// Arrival/slew + cell-delay only (Table 5 "w/ Cell").
+    CellOnly,
+    /// Arrival/slew + net-delay only (Table 5 "w/ Net").
+    NetOnly,
+    /// Main task only (no auxiliary supervision).
+    None,
+}
+
+impl AuxMode {
+    /// Whether the cell-delay loss (Eq. 5) is active.
+    pub fn uses_cell(self) -> bool {
+        matches!(self, AuxMode::Full | AuxMode::CellOnly)
+    }
+
+    /// Whether the net-delay loss (Eq. 6) is active.
+    pub fn uses_net(self) -> bool {
+        matches!(self, AuxMode::Full | AuxMode::NetOnly)
+    }
+}
+
+/// The loss decomposition of one forward pass.
+#[derive(Debug, Clone)]
+pub struct LossParts {
+    /// Eq. (4): arrival-time/slew regression over all pins.
+    pub atslew: f32,
+    /// Eq. (5): cell-delay regression over cell arcs (0 when inactive).
+    pub celld: f32,
+    /// Eq. (6): net-delay regression over net sinks (0 when inactive).
+    pub netd: f32,
+    /// Eq. (7): the combined scalar actually optimized.
+    pub total: f32,
+}
+
+/// Builds the combined loss tensor (for backprop) and its decomposition
+/// (for logging).
+///
+/// # Panics
+///
+/// Panics if `pred`/`plan` do not correspond to `design`.
+pub fn combined_loss(
+    design: &DesignGraph,
+    plan: &PropPlan,
+    pred: &Prediction,
+    mode: AuxMode,
+) -> (Tensor, LossParts) {
+    // Eq. (4): || M_atslew - AS ||² over every pin.
+    let target_atslew = Tensor::concat_cols(&[&design.arrival, &design.slew]);
+    let pred_atslew = Tensor::concat_cols(&[&pred.arrival, &pred.slew]);
+    let l_atslew = pred_atslew.mse(&target_atslew);
+
+    let mut total = l_atslew.clone();
+
+    // Eq. (5): cell-delay auxiliary task over cell arcs.
+    let mut celld_val = 0.0;
+    if mode.uses_cell() && design.num_cell_edges() > 0 {
+        let target_cd = design.cell_delay.gather_rows(&plan.cell_edge_order);
+        let l_celld = pred.cell_delay.mse(&target_cd);
+        celld_val = l_celld.item();
+        total = total.add(&l_celld);
+    }
+
+    // Eq. (6): net-delay auxiliary task over net sinks.
+    let mut netd_val = 0.0;
+    if mode.uses_net() {
+        let masked_pred = mask_rows(&pred.net_delay, &design.sink_mask);
+        let masked_truth = mask_rows(&design.net_delay, &design.sink_mask);
+        let l_netd = masked_pred.mse(&masked_truth);
+        netd_val = l_netd.item();
+        total = total.add(&l_netd);
+    }
+
+    let parts = LossParts {
+        atslew: l_atslew.item(),
+        celld: celld_val,
+        netd: netd_val,
+        total: total.item(),
+    };
+    (total, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, TimingGnn};
+    use tp_gen::{generate, GeneratorConfig, BENCHMARKS};
+    use tp_liberty::Library;
+    use tp_place::{place_circuit, PlacementConfig};
+    use tp_sta::flow::run_full_flow;
+    use tp_sta::StaConfig;
+
+    fn design() -> DesignGraph {
+        let lib = Library::synthetic_sky130(0);
+        let cfg = GeneratorConfig {
+            scale: 0.005,
+            seed: 8,
+            depth: Some(6),
+        };
+        let circuit = generate(&BENCHMARKS[11], &lib, &cfg); // zipdiv
+        let placement = place_circuit(&circuit, &PlacementConfig::default(), 1);
+        let sta = StaConfig::default();
+        let flow = run_full_flow(&circuit, &placement, &lib, &sta);
+        DesignGraph::from_flow("zipdiv", true, &circuit, &placement, &lib, &flow, &sta)
+    }
+
+    fn tiny_model() -> TimingGnn {
+        TimingGnn::new(&ModelConfig {
+            embed_dim: 4,
+            prop_dim: 6,
+            hidden: vec![8],
+            seed: 1,
+            ablation: Default::default(),
+        })
+    }
+
+    #[test]
+    fn full_mode_sums_all_parts() {
+        let d = design();
+        let plan = PropPlan::build(&d);
+        let model = tiny_model();
+        let pred = model.forward(&d, &plan);
+        let (_, parts) = combined_loss(&d, &plan, &pred, AuxMode::Full);
+        assert!(parts.atslew > 0.0);
+        assert!(parts.celld > 0.0);
+        assert!(parts.netd >= 0.0);
+        let sum = parts.atslew + parts.celld + parts.netd;
+        assert!((parts.total - sum).abs() < 1e-4 * sum.max(1.0));
+    }
+
+    #[test]
+    fn ablations_drop_terms() {
+        let d = design();
+        let plan = PropPlan::build(&d);
+        let model = tiny_model();
+        let pred = model.forward(&d, &plan);
+        let (_, cell_only) = combined_loss(&d, &plan, &pred, AuxMode::CellOnly);
+        assert_eq!(cell_only.netd, 0.0);
+        assert!(cell_only.celld > 0.0);
+        let (_, net_only) = combined_loss(&d, &plan, &pred, AuxMode::NetOnly);
+        assert_eq!(net_only.celld, 0.0);
+        let (_, none) = combined_loss(&d, &plan, &pred, AuxMode::None);
+        assert_eq!(none.celld, 0.0);
+        assert_eq!(none.netd, 0.0);
+        assert!((none.total - none.atslew).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_backward_reaches_parameters() {
+        use tp_nn::Module;
+        let d = design();
+        let plan = PropPlan::build(&d);
+        let model = tiny_model();
+        let pred = model.forward(&d, &plan);
+        let (loss, _) = combined_loss(&d, &plan, &pred, AuxMode::Full);
+        loss.backward();
+        let live = model
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        assert_eq!(live, model.parameters().len());
+    }
+}

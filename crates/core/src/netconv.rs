@@ -1,0 +1,232 @@
+//! The net embedding stage (paper Sec. 3.3.1, Fig. 2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tp_data::{DesignGraph, NET_EDGE_FEATURES, PIN_FEATURES};
+use tp_nn::{Activation, Mlp, Module};
+use tp_tensor::ops::elementwise::mask_rows;
+use tp_tensor::Tensor;
+
+/// One net convolution layer: graph broadcast followed by graph reduction
+/// with sum and max channels.
+#[derive(Debug, Clone)]
+pub struct NetConv {
+    broadcast: Mlp,
+    reduce_msg: Mlp,
+    combine: Mlp,
+    out_dim: usize,
+}
+
+impl NetConv {
+    /// Creates a layer mapping `in_dim`-dimensional pin features to
+    /// `out_dim`, with `hidden`-wide MLPs.
+    pub fn new(in_dim: usize, out_dim: usize, hidden: &[usize], rng: &mut StdRng) -> NetConv {
+        NetConv {
+            broadcast: Mlp::new(
+                2 * in_dim + NET_EDGE_FEATURES,
+                hidden,
+                out_dim,
+                Activation::Relu,
+                rng,
+            ),
+            reduce_msg: Mlp::new(
+                in_dim + out_dim + NET_EDGE_FEATURES,
+                hidden,
+                out_dim,
+                Activation::Relu,
+                rng,
+            ),
+            combine: Mlp::new(in_dim + 2 * out_dim, hidden, out_dim, Activation::Relu, rng),
+            out_dim,
+        }
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer.
+    ///
+    /// `h` is `[N, in_dim]`; masks select sink rows (updated by broadcast)
+    /// and driver rows (updated by reduction).
+    pub fn forward(&self, design: &DesignGraph, h: &Tensor) -> Tensor {
+        let n = design.num_pins;
+        let src_h = h.gather_rows(&design.net_src);
+        let dst_h = h.gather_rows(&design.net_dst);
+        let ef = &design.net_edge_features;
+
+        // Broadcast: driver -> sink along net edges. Every sink has exactly
+        // one incoming net edge, so the scatter is an assignment.
+        let bmsg = self
+            .broadcast
+            .forward(&Tensor::concat_cols(&[&src_h, &dst_h, ef]));
+        let sink_update = bmsg.scatter_rows(&design.net_dst, n);
+
+        // Reduction: updated sinks -> driver through sum & max channels.
+        let new_dst = sink_update.gather_rows(&design.net_dst);
+        let rmsg = self
+            .reduce_msg
+            .forward(&Tensor::concat_cols(&[&src_h, &new_dst, ef]));
+        let sum_ch = rmsg.segment_sum(&design.net_src, n);
+        let max_ch = rmsg.segment_max(&design.net_src, n);
+        let driver_update = self
+            .combine
+            .forward(&Tensor::concat_cols(&[h, &sum_ch, &max_ch]));
+
+        // Each pin is either a net sink or a net driver; merge the two
+        // disjoint updates.
+        let driver_mask: Vec<f32> = design.sink_mask.iter().map(|&m| 1.0 - m).collect();
+        mask_rows(&sink_update, &design.sink_mask).add(&mask_rows(&driver_update, &driver_mask))
+    }
+}
+
+impl Module for NetConv {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.broadcast.parameters();
+        p.extend(self.reduce_msg.parameters());
+        p.extend(self.combine.parameters());
+        p
+    }
+}
+
+/// The stacked three-layer net embedding model with its net-delay head.
+///
+/// Used standalone it is the Table-4 net-delay predictor; inside
+/// [`TimingGnn`](crate::TimingGnn) its embeddings seed the propagation
+/// stage (with extra unsupervised dimensions representing load/slew
+/// statistics, as the paper describes).
+#[derive(Debug, Clone)]
+pub struct NetEmbed {
+    layers: Vec<NetConv>,
+    net_delay_head: Mlp,
+    embed_dim: usize,
+}
+
+impl NetEmbed {
+    /// Builds the stage: three [`NetConv`] layers and a 4-corner net-delay
+    /// head.
+    pub fn new(embed_dim: usize, hidden: &[usize], seed: u64) -> NetEmbed {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = vec![
+            NetConv::new(PIN_FEATURES, embed_dim, hidden, &mut rng),
+            NetConv::new(embed_dim, embed_dim, hidden, &mut rng),
+            NetConv::new(embed_dim, embed_dim, hidden, &mut rng),
+        ];
+        let net_delay_head = Mlp::new(embed_dim, hidden, 4, Activation::Relu, &mut rng);
+        NetEmbed {
+            layers,
+            net_delay_head,
+            embed_dim,
+        }
+    }
+
+    /// Embedding width.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Computes pin embeddings `[N, embed_dim]`.
+    pub fn embed(&self, design: &DesignGraph) -> Tensor {
+        let mut h = design.pin_features.clone();
+        for layer in &self.layers {
+            h = layer.forward(design, &h);
+        }
+        h
+    }
+
+    /// Predicts per-pin net delay to root `[N, 4]` from embeddings
+    /// (meaningful at net-sink rows).
+    pub fn net_delay(&self, embedding: &Tensor) -> Tensor {
+        self.net_delay_head.forward(embedding)
+    }
+}
+
+impl Module for NetEmbed {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.layers.iter().flat_map(Module::parameters).collect();
+        p.extend(self.net_delay_head.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_gen::{generate, GeneratorConfig, BENCHMARKS};
+    use tp_liberty::Library;
+    use tp_place::{place_circuit, PlacementConfig};
+    use tp_sta::flow::run_full_flow;
+    use tp_sta::StaConfig;
+
+    fn design() -> DesignGraph {
+        let lib = Library::synthetic_sky130(0);
+        let cfg = GeneratorConfig {
+            scale: 0.01,
+            seed: 11,
+            depth: Some(6),
+        };
+        let circuit = generate(&BENCHMARKS[18], &lib, &cfg); // spm
+        let placement = place_circuit(&circuit, &PlacementConfig::default(), 1);
+        let sta = StaConfig::default();
+        let flow = run_full_flow(&circuit, &placement, &lib, &sta);
+        DesignGraph::from_flow("spm", false, &circuit, &placement, &lib, &flow, &sta)
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let d = design();
+        let m = NetEmbed::new(8, &[16], 1);
+        let h = m.embed(&d);
+        assert_eq!(h.shape(), &[d.num_pins, 8]);
+        let nd = m.net_delay(&h);
+        assert_eq!(nd.shape(), &[d.num_pins, 4]);
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let d = design();
+        let m = NetEmbed::new(4, &[8], 2);
+        let h = m.embed(&d);
+        let loss = m.net_delay(&h).mse(&d.net_delay);
+        loss.backward();
+        let with_grad = m
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        // every parameter participates (broadcast+reduce+combine×3 + head)
+        assert_eq!(with_grad, m.parameters().len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = design();
+        let a = NetEmbed::new(4, &[8], 7).embed(&d).to_vec();
+        let b = NetEmbed::new(4, &[8], 7).embed(&d).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_step_reduces_net_delay_loss() {
+        let d = design();
+        let m = NetEmbed::new(8, &[16], 3);
+        let mut opt = tp_nn::optim::Adam::new(m.parameters(), 3e-3);
+        let initial = {
+            let h = m.embed(&d);
+            m.net_delay(&h).mse(&d.net_delay).item()
+        };
+        for _ in 0..30 {
+            let h = m.embed(&d);
+            let loss = m.net_delay(&h).mse(&d.net_delay);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        let after = {
+            let h = m.embed(&d);
+            m.net_delay(&h).mse(&d.net_delay).item()
+        };
+        assert!(after < initial, "loss should decrease: {initial} -> {after}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Multi-design training loop.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tp_data::{r2_score, Dataset, DesignGraph};
+use tp_nn::optim::{clip_grad_norm, Adam};
+use tp_nn::Module;
+
+use crate::{combined_loss, AuxMode, LossParts, Prediction, PropPlan, TimingGnn};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Full passes over the training designs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip (propagation graphs are deep).
+    pub grad_clip: f32,
+    /// Auxiliary-task configuration (the Table-5 ablation).
+    pub aux: AuxMode,
+    /// Print progress every `log_every` epochs (0 = silent).
+    pub log_every: usize,
+    /// Final learning rate as a fraction of `lr` (cosine decay over the
+    /// epoch budget); 1.0 disables the schedule.
+    pub lr_floor: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            lr: 2e-3,
+            grad_clip: 5.0,
+            aux: AuxMode::Full,
+            log_every: 0,
+            lr_floor: 0.1,
+        }
+    }
+}
+
+/// Per-epoch aggregate statistics (averaged over training designs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochStats {
+    /// Epoch index, 0-based.
+    pub epoch: usize,
+    /// Mean Eq. (4) loss.
+    pub atslew: f32,
+    /// Mean Eq. (5) loss.
+    pub celld: f32,
+    /// Mean Eq. (6) loss.
+    pub netd: f32,
+    /// Mean combined loss.
+    pub total: f32,
+    /// Wall-clock seconds for the epoch.
+    pub seconds: f64,
+}
+
+/// Trains a [`TimingGnn`] on a dataset's training split and evaluates it.
+pub struct Trainer {
+    model: TimingGnn,
+    config: TrainConfig,
+    optimizer: Adam,
+    plans: HashMap<String, PropPlan>,
+}
+
+impl Trainer {
+    /// Wraps a model with an optimizer.
+    pub fn new(model: TimingGnn, config: TrainConfig) -> Trainer {
+        let optimizer = Adam::new(model.parameters(), config.lr);
+        Trainer {
+            model,
+            config,
+            optimizer,
+            plans: HashMap::new(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &TimingGnn {
+        &self.model
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    fn plan_for(&mut self, design: &DesignGraph) -> PropPlan {
+        self.plans
+            .entry(design.name.clone())
+            .or_insert_with(|| PropPlan::build(design))
+            .clone()
+    }
+
+    /// Runs one optimization step on a single design and returns the loss
+    /// decomposition.
+    pub fn step(&mut self, design: &DesignGraph) -> LossParts {
+        let plan = self.plan_for(design);
+        let pred = self.model.forward(design, &plan);
+        let (loss, parts) = combined_loss(design, &plan, &pred, self.config.aux);
+        self.optimizer.zero_grad();
+        loss.backward();
+        clip_grad_norm(&self.model.parameters(), self.config.grad_clip);
+        self.optimizer.step();
+        parts
+    }
+
+    /// Trains for the configured number of epochs over the dataset's
+    /// training split; returns per-epoch statistics.
+    pub fn fit(&mut self, dataset: &Dataset) -> Vec<EpochStats> {
+        let mut history = Vec::with_capacity(self.config.epochs);
+        let base_lr = self.config.lr;
+        for epoch in 0..self.config.epochs {
+            // Cosine learning-rate decay toward `lr_floor · lr`.
+            if self.config.lr_floor < 1.0 && self.config.epochs > 1 {
+                let t = epoch as f32 / (self.config.epochs - 1) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                let lr = base_lr * (self.config.lr_floor + (1.0 - self.config.lr_floor) * cos);
+                self.optimizer.set_lr(lr);
+            }
+            let t0 = Instant::now();
+            let mut agg = EpochStats {
+                epoch,
+                ..EpochStats::default()
+            };
+            let mut count = 0;
+            let train: Vec<&DesignGraph> = dataset.train().collect();
+            for design in train {
+                let parts = self.step(design);
+                agg.atslew += parts.atslew;
+                agg.celld += parts.celld;
+                agg.netd += parts.netd;
+                agg.total += parts.total;
+                count += 1;
+            }
+            let k = count.max(1) as f32;
+            agg.atslew /= k;
+            agg.celld /= k;
+            agg.netd /= k;
+            agg.total /= k;
+            agg.seconds = t0.elapsed().as_secs_f64();
+            if self.config.log_every > 0 && epoch % self.config.log_every == 0 {
+                eprintln!(
+                    "epoch {:>3}: total {:.5} (atslew {:.5} celld {:.5} netd {:.5}) [{:.1}s]",
+                    epoch, agg.total, agg.atslew, agg.celld, agg.netd, agg.seconds
+                );
+            }
+            history.push(agg);
+        }
+        history
+    }
+
+    /// Forward pass without optimization (prediction).
+    pub fn predict(&mut self, design: &DesignGraph) -> Prediction {
+        let plan = self.plan_for(design);
+        self.model.forward(design, &plan)
+    }
+
+    /// Forward pass returning inference wall-clock seconds, for the
+    /// Table-5 runtime comparison.
+    pub fn timed_predict(&mut self, design: &DesignGraph) -> (Prediction, f64) {
+        let plan = self.plan_for(design);
+        let t0 = Instant::now();
+        let pred = self.model.forward(design, &plan);
+        (pred, t0.elapsed().as_secs_f64())
+    }
+
+    /// R² of endpoint arrival-time prediction on one design (the Table-5
+    /// score).
+    pub fn evaluate_arrival_r2(&mut self, design: &DesignGraph) -> f64 {
+        let pred = self.predict(design);
+        r2_score(
+            &design.endpoint_arrival_flat(),
+            &pred.endpoint_arrival_flat(design),
+        )
+    }
+
+    /// R² of net-delay prediction at net sinks on one design (the Table-4
+    /// score for the GNN column).
+    pub fn evaluate_net_delay_r2(&mut self, design: &DesignGraph) -> f64 {
+        let pred = self.predict(design);
+        let truth = design.net_delay.data();
+        let p = pred.net_delay.data();
+        let mut t_flat = Vec::new();
+        let mut p_flat = Vec::new();
+        for i in 0..design.num_pins {
+            if design.sink_mask[i] > 0.5 {
+                for k in 0..4 {
+                    t_flat.push(truth[i * 4 + k]);
+                    p_flat.push(p[i * 4 + k]);
+                }
+            }
+        }
+        r2_score(&t_flat, &p_flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+    use tp_data::{DatasetConfig, Dataset};
+    use tp_gen::GeneratorConfig;
+    use tp_liberty::Library;
+
+    fn tiny_dataset() -> Dataset {
+        let lib = Library::synthetic_sky130(0);
+        Dataset::build_suite(
+            &lib,
+            &DatasetConfig {
+                generator: GeneratorConfig {
+                    scale: 0.001,
+                    seed: 4,
+                    depth: Some(6),
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    fn tiny_trainer(aux: AuxMode) -> Trainer {
+        let model = TimingGnn::new(&ModelConfig {
+            embed_dim: 4,
+            prop_dim: 6,
+            hidden: vec![8],
+            seed: 2,
+            ablation: Default::default(),
+        });
+        Trainer::new(
+            model,
+            TrainConfig {
+                epochs: 8,
+                lr: 3e-3,
+                aux,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fit_reduces_loss() {
+        let ds = tiny_dataset();
+        let mut t = tiny_trainer(AuxMode::Full);
+        let history = t.fit(&ds);
+        assert_eq!(history.len(), 8);
+        let first = history.first().unwrap().total;
+        let last = history.last().unwrap().total;
+        assert!(last < first, "training loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluation_improves_with_training() {
+        let ds = tiny_dataset();
+        let design = ds.designs().first().unwrap();
+        let mut t = tiny_trainer(AuxMode::Full);
+        let before = t.evaluate_arrival_r2(design);
+        t.fit(&ds);
+        let after = t.evaluate_arrival_r2(design);
+        assert!(after > before, "R2 should improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn timed_predict_reports_positive_time() {
+        let ds = tiny_dataset();
+        let mut t = tiny_trainer(AuxMode::None);
+        let (_, secs) = t.timed_predict(ds.designs().first().unwrap());
+        assert!(secs > 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Suite-level dataset assembly.
+
+use tp_gen::{generate, GeneratorConfig, Split, BENCHMARKS};
+use tp_liberty::Library;
+use tp_place::{place_circuit, PlacementConfig};
+use tp_sta::flow::run_full_flow;
+use tp_sta::StaConfig;
+
+use crate::DesignGraph;
+
+/// Configuration for building the 21-design dataset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatasetConfig {
+    /// Circuit-generation knobs (size scale, seed, depth).
+    pub generator: GeneratorConfig,
+    /// Placement knobs.
+    pub placement: PlacementConfig,
+    /// STA constraints for label generation.
+    pub sta: StaConfig,
+    /// Placement seed base; each design adds its suite index.
+    pub placement_seed: u64,
+}
+
+/// The full benchmark dataset: lowered designs in Table-1 order.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    designs: Vec<DesignGraph>,
+}
+
+impl Dataset {
+    /// Generates, places, routes and analyzes every benchmark, lowering
+    /// each into a [`DesignGraph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator scale is non-positive.
+    pub fn build_suite(library: &Library, config: &DatasetConfig) -> Dataset {
+        let designs = BENCHMARKS
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let circuit = generate(spec, library, &config.generator);
+                let placement = place_circuit(
+                    &circuit,
+                    &config.placement,
+                    config.placement_seed.wrapping_add(i as u64),
+                );
+                let flow = run_full_flow(&circuit, &placement, library, &config.sta);
+                DesignGraph::from_flow(
+                    spec.name,
+                    spec.split == Split::Train,
+                    &circuit,
+                    &placement,
+                    library,
+                    &flow,
+                    &config.sta,
+                )
+            })
+            .collect();
+        Dataset { designs }
+    }
+
+    /// Wraps pre-lowered designs (used by tests and custom pipelines).
+    pub fn from_designs(designs: Vec<DesignGraph>) -> Dataset {
+        Dataset { designs }
+    }
+
+    /// All designs in Table-1 order.
+    pub fn designs(&self) -> &[DesignGraph] {
+        &self.designs
+    }
+
+    /// The 14 training designs.
+    pub fn train(&self) -> impl Iterator<Item = &DesignGraph> {
+        self.designs.iter().filter(|d| d.is_train)
+    }
+
+    /// The 7 test designs.
+    pub fn test(&self) -> impl Iterator<Item = &DesignGraph> {
+        self.designs.iter().filter(|d| !d.is_train)
+    }
+
+    /// Looks a design up by name.
+    pub fn by_name(&self, name: &str) -> Option<&DesignGraph> {
+        self.designs.iter().find(|d| d.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> DatasetConfig {
+        DatasetConfig {
+            generator: GeneratorConfig {
+                scale: 0.002,
+                seed: 5,
+                depth: Some(8),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn suite_builds_and_splits() {
+        let lib = Library::synthetic_sky130(0);
+        let ds = Dataset::build_suite(&lib, &tiny_config());
+        assert_eq!(ds.designs().len(), 21);
+        assert_eq!(ds.train().count(), 14);
+        assert_eq!(ds.test().count(), 7);
+        assert!(ds.by_name("usbf_device").is_some());
+        assert!(!ds.by_name("usbf_device").unwrap().is_train);
+    }
+
+    #[test]
+    fn every_design_has_labels_and_endpoints() {
+        let lib = Library::synthetic_sky130(0);
+        let ds = Dataset::build_suite(&lib, &tiny_config());
+        for d in ds.designs() {
+            assert!(!d.endpoints.is_empty(), "{} has endpoints", d.name);
+            assert!(d.clock_period > 0.0);
+            let at = d.endpoint_arrival_flat();
+            assert_eq!(at.len(), d.endpoints.len() * 4);
+            assert!(at.iter().all(|v| v.is_finite()));
+            assert!(d.timing.total() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic benchmark suite mirroring the paper's 21 open-source designs.
+//!
+//! The paper evaluates on 21 OpenCores circuits synthesized through
+//! OpenROAD (Table 1). Those netlists are unavailable here, so this crate
+//! **generates** 21 designs with the same names, the same 14-train/7-test
+//! split, and statistics proportional to Table 1 (node, edge and endpoint
+//! counts scale with the `scale` knob; `scale = 1.0` targets the paper's
+//! full sizes).
+//!
+//! Generation is structural, not behavioural: a depth-controlled random
+//! logic DAG with a center-heavy level distribution, fan-out that emerges
+//! from locality-biased source selection, register-bounded timing paths and
+//! boundary I/O — the features that matter for timing prediction. Every
+//! design is deterministic in `(name, scale, seed)`.
+//!
+//! # Example
+//!
+//! ```
+//! use tp_gen::{generate, GeneratorConfig, BENCHMARKS};
+//! use tp_liberty::Library;
+//!
+//! let lib = Library::synthetic_sky130(1);
+//! let cfg = GeneratorConfig { scale: 0.01, seed: 7, ..Default::default() };
+//! let circuit = generate(&BENCHMARKS[1], &lib, &cfg); // usb_cdc_core
+//! assert!(circuit.num_pins() > 10);
+//! assert!(circuit.stats().endpoints >= 2);
+//! ```
+
+mod spec;
+mod synth;
+
+pub use spec::{BenchmarkSpec, Split, BENCHMARKS};
+pub use synth::{generate, generate_suite, GeneratorConfig};

@@ -1,0 +1,328 @@
+use crate::circuit::{CellData, CellEdge, Circuit, NetData, NetEdge, PinData, PinKind};
+use crate::{CellId, GraphError, NetEdgeId, NetId, PinId, Topology};
+
+/// Incremental constructor for [`Circuit`].
+///
+/// The builder enforces structural invariants as the netlist grows (single
+/// driver per pin, direction compatibility) and validates acyclicity at
+/// [`CircuitBuilder::finish`].
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    pins: Vec<PinData>,
+    nets: Vec<NetData>,
+    cells: Vec<CellData>,
+    net_edges: Vec<NetEdge>,
+    cell_edges: Vec<CellEdge>,
+}
+
+impl CircuitBuilder {
+    /// Starts an empty design called `name`.
+    pub fn new(name: impl Into<String>) -> CircuitBuilder {
+        CircuitBuilder {
+            name: name.into(),
+            pins: Vec::new(),
+            nets: Vec::new(),
+            cells: Vec::new(),
+            net_edges: Vec::new(),
+            cell_edges: Vec::new(),
+        }
+    }
+
+    fn push_pin(&mut self, data: PinData) -> PinId {
+        let id = PinId::new(self.pins.len());
+        self.pins.push(data);
+        id
+    }
+
+    /// Adds a primary input port (timing startpoint that drives a net).
+    pub fn add_primary_input(&mut self, name: impl Into<String>) -> PinId {
+        self.push_pin(PinData {
+            name: name.into(),
+            kind: PinKind::PrimaryInput,
+            cell: None,
+            net: None,
+            is_endpoint: false,
+            is_startpoint: true,
+        })
+    }
+
+    /// Adds a primary output port (timing endpoint that sinks a net).
+    pub fn add_primary_output(&mut self, name: impl Into<String>) -> PinId {
+        self.push_pin(PinData {
+            name: name.into(),
+            kind: PinKind::PrimaryOutput,
+            cell: None,
+            net: None,
+            is_endpoint: true,
+            is_startpoint: false,
+        })
+    }
+
+    /// Adds a combinational cell with `num_inputs` input pins and one output
+    /// pin, creating one cell edge (timing arc) per input.
+    ///
+    /// Returns `(cell, input_pins, output_pin)`.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        type_id: u32,
+        num_inputs: usize,
+    ) -> (CellId, Vec<PinId>, PinId) {
+        let name = name.into();
+        let cell_id = CellId::new(self.cells.len());
+        let inputs: Vec<PinId> = (0..num_inputs)
+            .map(|i| {
+                self.push_pin(PinData {
+                    name: format!("{name}/a{i}"),
+                    kind: PinKind::CellInput,
+                    cell: Some(cell_id),
+                    net: None,
+                    is_endpoint: false,
+                    is_startpoint: false,
+                })
+            })
+            .collect();
+        let output = self.push_pin(PinData {
+            name: format!("{name}/y"),
+            kind: PinKind::CellOutput,
+            cell: Some(cell_id),
+            net: None,
+            is_endpoint: false,
+            is_startpoint: false,
+        });
+        for (i, &from) in inputs.iter().enumerate() {
+            self.cell_edges.push(CellEdge {
+                from,
+                to: output,
+                cell: cell_id,
+                input_index: i as u32,
+            });
+        }
+        self.cells.push(CellData {
+            name,
+            type_id,
+            inputs: inputs.clone(),
+            output,
+            is_register: false,
+        });
+        (cell_id, inputs, output)
+    }
+
+    /// Adds a register (sequential cell). Its data pin is a timing endpoint,
+    /// its output pin a timing startpoint, and **no** cell edge connects
+    /// them, cutting the timing graph at this element.
+    ///
+    /// Returns `(cell, data_pin, output_pin)`.
+    pub fn add_register(
+        &mut self,
+        name: impl Into<String>,
+        type_id: u32,
+    ) -> (CellId, PinId, PinId) {
+        let name = name.into();
+        let cell_id = CellId::new(self.cells.len());
+        let d = self.push_pin(PinData {
+            name: format!("{name}/d"),
+            kind: PinKind::CellInput,
+            cell: Some(cell_id),
+            net: None,
+            is_endpoint: true,
+            is_startpoint: false,
+        });
+        let q = self.push_pin(PinData {
+            name: format!("{name}/q"),
+            kind: PinKind::CellOutput,
+            cell: Some(cell_id),
+            net: None,
+            is_endpoint: false,
+            is_startpoint: true,
+        });
+        self.cells.push(CellData {
+            name,
+            type_id,
+            inputs: vec![d],
+            output: q,
+            is_register: true,
+        });
+        (cell_id, d, q)
+    }
+
+    /// Connects `driver` to `sinks`, creating a net and one net edge per
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::InvalidDriver`] if `driver` cannot drive,
+    /// - [`GraphError::InvalidSink`] if a sink cannot sink,
+    /// - [`GraphError::PinAlreadyConnected`] if any pin already has a net,
+    /// - [`GraphError::EmptyNet`] if `sinks` is empty.
+    pub fn connect(&mut self, driver: PinId, sinks: &[PinId]) -> Result<NetId, GraphError> {
+        if sinks.is_empty() {
+            return Err(GraphError::EmptyNet(driver));
+        }
+        if !self.pins[driver.index()].kind.is_driver() {
+            return Err(GraphError::InvalidDriver(driver));
+        }
+        if self.pins[driver.index()].net.is_some() {
+            return Err(GraphError::PinAlreadyConnected(driver));
+        }
+        for &s in sinks {
+            if !self.pins[s.index()].kind.is_sink() {
+                return Err(GraphError::InvalidSink(s));
+            }
+            if self.pins[s.index()].net.is_some() {
+                return Err(GraphError::PinAlreadyConnected(s));
+            }
+        }
+        let net_id = NetId::new(self.nets.len());
+        let mut edges = Vec::with_capacity(sinks.len());
+        for &s in sinks {
+            let eid = NetEdgeId::new(self.net_edges.len());
+            self.net_edges.push(NetEdge {
+                driver,
+                sink: s,
+                net: net_id,
+            });
+            edges.push(eid);
+            self.pins[s.index()].net = Some(net_id);
+        }
+        self.pins[driver.index()].net = Some(net_id);
+        self.nets.push(NetData {
+            driver,
+            sinks: sinks.to_vec(),
+            edges,
+        });
+        Ok(net_id)
+    }
+
+    /// Number of pins added so far.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Validates the netlist and produces an immutable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::DanglingPin`] if any pin is unconnected,
+    /// - [`GraphError::CombinationalCycle`] if the net+cell edge graph has a
+    ///   cycle.
+    pub fn finish(self) -> Result<Circuit, GraphError> {
+        for (i, p) in self.pins.iter().enumerate() {
+            if p.net.is_none() {
+                return Err(GraphError::DanglingPin(PinId::new(i)));
+            }
+        }
+        let circuit = Circuit {
+            name: self.name,
+            pins: self.pins,
+            nets: self.nets,
+            cells: self.cells,
+            net_edges: self.net_edges,
+            cell_edges: self.cell_edges,
+        };
+        // Levelization doubles as the acyclicity check.
+        Topology::build(&circuit)?;
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter_chain(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let mut prev = b.add_primary_input("in");
+        for i in 0..n {
+            let (_, ins, out) = b.add_cell(format!("u{i}"), 0, 1);
+            b.connect(prev, &[ins[0]]).unwrap();
+            prev = out;
+        }
+        let po = b.add_primary_output("out");
+        b.connect(prev, &[po]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_counts() {
+        let c = inverter_chain(3);
+        assert_eq!(c.num_pins(), 2 + 6);
+        assert_eq!(c.num_net_edges(), 4);
+        assert_eq!(c.num_cell_edges(), 3);
+        assert_eq!(c.endpoints().len(), 1);
+        assert_eq!(c.startpoints().len(), 1);
+    }
+
+    #[test]
+    fn register_cuts_graph() {
+        let mut b = CircuitBuilder::new("reg");
+        let pi = b.add_primary_input("in");
+        let (_, d, q) = b.add_register("r0", 9);
+        let po = b.add_primary_output("out");
+        b.connect(pi, &[d]).unwrap();
+        b.connect(q, &[po]).unwrap();
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_cell_edges(), 0);
+        assert_eq!(c.endpoints().len(), 2); // d pin + primary output
+        assert_eq!(c.startpoints().len(), 2); // q pin + primary input
+    }
+
+    #[test]
+    fn double_drive_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        let p1 = b.add_primary_input("a");
+        let p2 = b.add_primary_input("b");
+        let (_, ins, _out) = b.add_cell("u0", 0, 1);
+        b.connect(p1, &[ins[0]]).unwrap();
+        assert_eq!(
+            b.connect(p2, &[ins[0]]),
+            Err(GraphError::PinAlreadyConnected(ins[0]))
+        );
+    }
+
+    #[test]
+    fn direction_validated() {
+        let mut b = CircuitBuilder::new("bad");
+        let po = b.add_primary_output("z");
+        let pi = b.add_primary_input("a");
+        assert_eq!(b.connect(po, &[pi]), Err(GraphError::InvalidDriver(po)));
+    }
+
+    #[test]
+    fn dangling_pin_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        let _pi = b.add_primary_input("a");
+        assert!(matches!(b.finish(), Err(GraphError::DanglingPin(_))));
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        let pi = b.add_primary_input("a");
+        assert_eq!(b.connect(pi, &[]), Err(GraphError::EmptyNet(pi)));
+    }
+
+    #[test]
+    fn fanout_net_edges() {
+        let mut b = CircuitBuilder::new("fan");
+        let pi = b.add_primary_input("a");
+        let (_, i1, o1) = b.add_cell("u0", 0, 1);
+        let (_, i2, o2) = b.add_cell("u1", 0, 1);
+        let z1 = b.add_primary_output("z1");
+        let z2 = b.add_primary_output("z2");
+        b.connect(pi, &[i1[0], i2[0]]).unwrap();
+        b.connect(o1, &[z1]).unwrap();
+        b.connect(o2, &[z2]).unwrap();
+        let c = b.finish().unwrap();
+        let net = c.net(tp_net(&c, pi));
+        assert_eq!(net.sinks.len(), 2);
+        assert_eq!(c.num_net_edges(), 4);
+    }
+
+    fn tp_net(c: &Circuit, p: PinId) -> NetId {
+        c.pin(p).net.unwrap()
+    }
+}

@@ -1,0 +1,244 @@
+use crate::{CellEdgeId, CellId, CircuitStats, NetEdgeId, NetId, PinId, Topology};
+
+/// Role of a pin in the timing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinKind {
+    /// Primary input port: drives a net, timing startpoint.
+    PrimaryInput,
+    /// Primary output port: sinks a net, timing endpoint.
+    PrimaryOutput,
+    /// Input pin of a cell instance (fan-out pin of a net).
+    CellInput,
+    /// Output pin of a cell instance (fan-in / net driver pin).
+    CellOutput,
+}
+
+impl PinKind {
+    /// Whether this pin drives nets (is a "fan-in" node in the paper's
+    /// terminology: arrival is produced here by a cell or a port).
+    pub fn is_driver(self) -> bool {
+        matches!(self, PinKind::PrimaryInput | PinKind::CellOutput)
+    }
+
+    /// Whether this pin sinks a net.
+    pub fn is_sink(self) -> bool {
+        matches!(self, PinKind::PrimaryOutput | PinKind::CellInput)
+    }
+}
+
+/// Per-pin record.
+#[derive(Debug, Clone)]
+pub struct PinData {
+    /// Hierarchical name, e.g. `u42/a1` or port name.
+    pub name: String,
+    /// Structural role.
+    pub kind: PinKind,
+    /// Owning cell, if any (ports have none).
+    pub cell: Option<CellId>,
+    /// The net this pin connects to, filled in by `connect`.
+    pub net: Option<NetId>,
+    /// Whether this pin is a timing endpoint (register data pin or primary
+    /// output).
+    pub is_endpoint: bool,
+    /// Whether this pin is a timing startpoint (register output or primary
+    /// input).
+    pub is_startpoint: bool,
+}
+
+/// Per-net record. Net edges expand a net into (driver → sink) pairs.
+#[derive(Debug, Clone)]
+pub struct NetData {
+    /// Driving pin (root of the routing tree).
+    pub driver: PinId,
+    /// Sink pins, in insertion order.
+    pub sinks: Vec<PinId>,
+    /// Net-edge ids, parallel to `sinks`.
+    pub edges: Vec<NetEdgeId>,
+}
+
+/// Per-cell record.
+#[derive(Debug, Clone)]
+pub struct CellData {
+    /// Instance name, e.g. `u42`.
+    pub name: String,
+    /// Library cell type index (resolved against a `tp_liberty::Library`).
+    pub type_id: u32,
+    /// Input pins in library pin order.
+    pub inputs: Vec<PinId>,
+    /// Output pin (single-output cells only, which covers the synthetic
+    /// library).
+    pub output: PinId,
+    /// Whether this is a sequential element (register).
+    pub is_register: bool,
+}
+
+/// A net edge: driver pin → sink pin of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetEdge {
+    /// Source (net driver).
+    pub driver: PinId,
+    /// Destination (net sink).
+    pub sink: PinId,
+    /// Owning net.
+    pub net: NetId,
+}
+
+/// A cell edge (timing arc): input pin → output pin of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellEdge {
+    /// Source (cell input pin).
+    pub from: PinId,
+    /// Destination (cell output pin).
+    pub to: PinId,
+    /// Owning cell instance.
+    pub cell: CellId,
+    /// Index of `from` within the cell's input list; selects the library
+    /// timing arc.
+    pub input_index: u32,
+}
+
+/// An immutable, validated circuit timing graph.
+///
+/// Construct with [`CircuitBuilder`](crate::CircuitBuilder). All arenas are
+/// index-stable; ids are dense indices.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) pins: Vec<PinData>,
+    pub(crate) nets: Vec<NetData>,
+    pub(crate) cells: Vec<CellData>,
+    pub(crate) net_edges: Vec<NetEdge>,
+    pub(crate) cell_edges: Vec<CellEdge>,
+}
+
+impl Circuit {
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pins (timing-graph nodes).
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cell instances.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of net edges (driver→sink pairs).
+    pub fn num_net_edges(&self) -> usize {
+        self.net_edges.len()
+    }
+
+    /// Number of cell edges (timing arcs).
+    pub fn num_cell_edges(&self) -> usize {
+        self.cell_edges.len()
+    }
+
+    /// Pin record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this circuit.
+    pub fn pin(&self, id: PinId) -> &PinData {
+        &self.pins[id.index()]
+    }
+
+    /// Net record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this circuit.
+    pub fn net(&self, id: NetId) -> &NetData {
+        &self.nets[id.index()]
+    }
+
+    /// Cell record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this circuit.
+    pub fn cell(&self, id: CellId) -> &CellData {
+        &self.cells[id.index()]
+    }
+
+    /// Net edge record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this circuit.
+    pub fn net_edge(&self, id: NetEdgeId) -> &NetEdge {
+        &self.net_edges[id.index()]
+    }
+
+    /// Cell edge record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this circuit.
+    pub fn cell_edge(&self, id: CellEdgeId) -> &CellEdge {
+        &self.cell_edges[id.index()]
+    }
+
+    /// Iterates over all pin ids.
+    pub fn pin_ids(&self) -> impl Iterator<Item = PinId> + '_ {
+        (0..self.pins.len()).map(PinId::new)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId::new)
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(CellId::new)
+    }
+
+    /// All net edges in id order.
+    pub fn net_edges(&self) -> &[NetEdge] {
+        &self.net_edges
+    }
+
+    /// All cell edges in id order.
+    pub fn cell_edges(&self) -> &[CellEdge] {
+        &self.cell_edges
+    }
+
+    /// Ids of all timing endpoints (register data pins and primary outputs).
+    pub fn endpoints(&self) -> Vec<PinId> {
+        self.pin_ids()
+            .filter(|&p| self.pin(p).is_endpoint)
+            .collect()
+    }
+
+    /// Ids of all timing startpoints (register outputs and primary inputs).
+    pub fn startpoints(&self) -> Vec<PinId> {
+        self.pin_ids()
+            .filter(|&p| self.pin(p).is_startpoint)
+            .collect()
+    }
+
+    /// Builds the CSR adjacency and topological levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a combinational cycle — the builder
+    /// rejects those, so this only fires on a hand-assembled inconsistent
+    /// circuit.
+    pub fn topology(&self) -> Topology {
+        Topology::build(self).expect("builder-validated circuit must be acyclic")
+    }
+
+    /// Table-1 style statistics for this design.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::of(self)
+    }
+}

@@ -1,0 +1,196 @@
+//! Logic-cone queries and DOT export.
+//!
+//! Timing tools constantly ask "what feeds this endpoint?" (fan-in cone,
+//! for path-based analysis and ECO scoping) and "what does this startpoint
+//! reach?" (fan-out cone). These run over the [`Topology`] CSR in O(cone)
+//! time. [`to_dot`] renders a circuit (or a cone of it) in Graphviz DOT
+//! for debugging and documentation.
+
+use std::collections::VecDeque;
+
+use crate::topology::EdgeRef;
+use crate::{Circuit, PinId, Topology};
+
+/// All pins in the fan-in cone of `root` (inclusive), in BFS order.
+pub fn fanin_cone(circuit: &Circuit, topology: &Topology, root: PinId) -> Vec<PinId> {
+    walk(circuit, topology, root, true)
+}
+
+/// All pins in the fan-out cone of `root` (inclusive), in BFS order.
+pub fn fanout_cone(circuit: &Circuit, topology: &Topology, root: PinId) -> Vec<PinId> {
+    walk(circuit, topology, root, false)
+}
+
+fn walk(circuit: &Circuit, topology: &Topology, root: PinId, backwards: bool) -> Vec<PinId> {
+    let mut seen = vec![false; circuit.num_pins()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[root.index()] = true;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let edges = if backwards {
+            topology.fanin(u)
+        } else {
+            topology.fanout(u)
+        };
+        for &er in edges {
+            let v = match (er, backwards) {
+                (EdgeRef::Net(id), true) => circuit.net_edge(id).driver,
+                (EdgeRef::Net(id), false) => circuit.net_edge(id).sink,
+                (EdgeRef::Cell(id), true) => circuit.cell_edge(id).from,
+                (EdgeRef::Cell(id), false) => circuit.cell_edge(id).to,
+            };
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Pins shared by the fan-in cones of two endpoints — the reconvergent
+/// logic both depend on (useful for common-path pessimism reasoning).
+pub fn shared_fanin(
+    circuit: &Circuit,
+    topology: &Topology,
+    a: PinId,
+    b: PinId,
+) -> Vec<PinId> {
+    let cone_a = fanin_cone(circuit, topology, a);
+    let mut in_a = vec![false; circuit.num_pins()];
+    for p in &cone_a {
+        in_a[p.index()] = true;
+    }
+    fanin_cone(circuit, topology, b)
+        .into_iter()
+        .filter(|p| in_a[p.index()])
+        .collect()
+}
+
+/// Renders `pins` (or the whole circuit when `None`) as Graphviz DOT.
+/// Net edges are solid, cell arcs dashed; endpoints are double circles.
+pub fn to_dot(circuit: &Circuit, pins: Option<&[PinId]>) -> String {
+    use std::fmt::Write as _;
+    let include: Vec<bool> = match pins {
+        Some(list) => {
+            let mut v = vec![false; circuit.num_pins()];
+            for p in list {
+                v[p.index()] = true;
+            }
+            v
+        }
+        None => vec![true; circuit.num_pins()],
+    };
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", circuit.name()).expect("string write");
+    writeln!(out, "  rankdir=LR;").expect("string write");
+    for p in circuit.pin_ids() {
+        if !include[p.index()] {
+            continue;
+        }
+        let pd = circuit.pin(p);
+        let shape = if pd.is_endpoint {
+            "doublecircle"
+        } else if pd.is_startpoint {
+            "diamond"
+        } else {
+            "ellipse"
+        };
+        writeln!(out, "  p{} [label=\"{}\" shape={shape}];", p.index(), pd.name)
+            .expect("string write");
+    }
+    for e in circuit.net_edges() {
+        if include[e.driver.index()] && include[e.sink.index()] {
+            writeln!(out, "  p{} -> p{};", e.driver.index(), e.sink.index())
+                .expect("string write");
+        }
+    }
+    for e in circuit.cell_edges() {
+        if include[e.from.index()] && include[e.to.index()] {
+            writeln!(
+                out,
+                "  p{} -> p{} [style=dashed];",
+                e.from.index(),
+                e.to.index()
+            )
+            .expect("string write");
+        }
+    }
+    writeln!(out, "}}").expect("string write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    /// in -> u0 -> {u1 -> z1, u2 -> z2}
+    fn fork() -> Circuit {
+        let mut b = CircuitBuilder::new("fork");
+        let pi = b.add_primary_input("in");
+        let (_, i0, o0) = b.add_cell("u0", 0, 1);
+        let (_, i1, o1) = b.add_cell("u1", 0, 1);
+        let (_, i2, o2) = b.add_cell("u2", 0, 1);
+        let z1 = b.add_primary_output("z1");
+        let z2 = b.add_primary_output("z2");
+        b.connect(pi, &[i0[0]]).expect("valid");
+        b.connect(o0, &[i1[0], i2[0]]).expect("valid");
+        b.connect(o1, &[z1]).expect("valid");
+        b.connect(o2, &[z2]).expect("valid");
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn fanin_cone_reaches_startpoint() {
+        let c = fork();
+        let t = c.topology();
+        let z1 = c.endpoints()[0];
+        let cone = fanin_cone(&c, &t, z1);
+        // z1 + u1(2 pins) + u0(2 pins) + in = 6
+        assert_eq!(cone.len(), 6);
+        assert!(cone.contains(&c.startpoints()[0]));
+        // the other branch is NOT in the cone
+        assert!(cone.len() < c.num_pins());
+    }
+
+    #[test]
+    fn fanout_cone_reaches_both_endpoints() {
+        let c = fork();
+        let t = c.topology();
+        let pi = c.startpoints()[0];
+        let cone = fanout_cone(&c, &t, pi);
+        assert_eq!(cone.len(), c.num_pins(), "input reaches everything");
+    }
+
+    #[test]
+    fn shared_fanin_is_the_common_prefix() {
+        let c = fork();
+        let t = c.topology();
+        let eps = c.endpoints();
+        let shared = shared_fanin(&c, &t, eps[0], eps[1]);
+        // in + u0/a0 + u0/y = 3 shared pins
+        assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn dot_export_mentions_all_nodes() {
+        let c = fork();
+        let dot = to_dot(&c, None);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("shape=").count(), c.num_pins());
+        assert!(dot.contains("doublecircle")); // endpoints rendered
+        assert!(dot.contains("style=dashed")); // cell arcs rendered
+    }
+
+    #[test]
+    fn dot_export_of_cone_is_subgraph() {
+        let c = fork();
+        let t = c.topology();
+        let cone = fanin_cone(&c, &t, c.endpoints()[0]);
+        let dot = to_dot(&c, Some(&cone));
+        assert_eq!(dot.matches("shape=").count(), cone.len());
+    }
+}

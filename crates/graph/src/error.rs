@@ -1,0 +1,41 @@
+use std::fmt;
+
+use crate::PinId;
+
+/// Errors raised while assembling a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A net's driver pin is not a driving pin (cell output or primary
+    /// input).
+    InvalidDriver(PinId),
+    /// A net sink is not a sinking pin (cell input or primary output).
+    InvalidSink(PinId),
+    /// A pin was connected to more than one net.
+    PinAlreadyConnected(PinId),
+    /// A net was created with no sinks.
+    EmptyNet(PinId),
+    /// The finished graph contains a combinational cycle through this pin.
+    CombinationalCycle(PinId),
+    /// A pin was left unconnected at `finish()` time (dangling input).
+    DanglingPin(PinId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidDriver(p) => write!(f, "pin {p} cannot drive a net"),
+            GraphError::InvalidSink(p) => write!(f, "pin {p} cannot sink a net"),
+            GraphError::PinAlreadyConnected(p) => {
+                write!(f, "pin {p} is already connected to a net")
+            }
+            GraphError::EmptyNet(p) => write!(f, "net driven by {p} has no sinks"),
+            GraphError::CombinationalCycle(p) => {
+                write!(f, "combinational cycle detected through pin {p}")
+            }
+            GraphError::DanglingPin(p) => write!(f, "pin {p} was never connected"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

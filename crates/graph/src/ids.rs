@@ -1,0 +1,80 @@
+//! Index newtypes for the circuit arenas.
+//!
+//! Each id is a dense `u32` index into the corresponding arena of its
+//! [`Circuit`](crate::Circuit); the newtypes keep pin/net/cell/edge index
+//! spaces statically distinct.
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Wraps a raw dense index.
+            pub fn new(index: usize) -> Self {
+                $name(index as u32)
+            }
+
+            /// The dense index value.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a pin (a node of the timing graph).
+    PinId
+);
+define_id!(
+    /// Identifies a net (one driver pin, one or more sinks).
+    NetId
+);
+define_id!(
+    /// Identifies a cell instance.
+    CellId
+);
+define_id!(
+    /// Identifies a net edge (driver → sink).
+    NetEdgeId
+);
+define_id!(
+    /// Identifies a cell edge (timing arc, input pin → output pin).
+    CellEdgeId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = PinId::new(3);
+        let b = PinId::new(7);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(usize::from(b), 7);
+        assert_eq!(a.to_string(), "PinId(3)");
+    }
+
+    #[test]
+    fn distinct_types_are_distinct() {
+        // Purely compile-time property; constructing both suffices.
+        let _p = PinId::new(0);
+        let _n = NetId::new(0);
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+
+use crate::Circuit;
+
+/// Per-design statistics matching the columns of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of pins (graph nodes).
+    pub nodes: usize,
+    /// Number of net edges (driver→sink pairs).
+    pub net_edges: usize,
+    /// Number of cell edges (timing arcs).
+    pub cell_edges: usize,
+    /// Number of timing endpoints.
+    pub endpoints: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> CircuitStats {
+        CircuitStats {
+            nodes: circuit.num_pins(),
+            net_edges: circuit.num_net_edges(),
+            cell_edges: circuit.num_cell_edges(),
+            endpoints: circuit
+                .pin_ids()
+                .filter(|&p| circuit.pin(p).is_endpoint)
+                .count(),
+        }
+    }
+
+    /// Component-wise sum, used for the Total Train / Total Test rows.
+    pub fn accumulate(&mut self, other: CircuitStats) {
+        self.nodes += other.nodes;
+        self.net_edges += other.net_edges;
+        self.cell_edges += other.cell_edges;
+        self.endpoints += other.endpoints;
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} net edges, {} cell edges, {} endpoints",
+            self.nodes, self.net_edges, self.cell_edges, self.endpoints
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut b = CircuitBuilder::new("s");
+        let pi = b.add_primary_input("a");
+        let (_, ins, out) = b.add_cell("u0", 0, 2);
+        let pi2 = b.add_primary_input("b");
+        let po = b.add_primary_output("z");
+        b.connect(pi, &[ins[0]]).unwrap();
+        b.connect(pi2, &[ins[1]]).unwrap();
+        b.connect(out, &[po]).unwrap();
+        let s = b.finish().unwrap().stats();
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.net_edges, 3);
+        assert_eq!(s.cell_edges, 2);
+        assert_eq!(s.endpoints, 1);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = CircuitStats {
+            nodes: 1,
+            net_edges: 2,
+            cell_edges: 3,
+            endpoints: 4,
+        };
+        a.accumulate(a);
+        assert_eq!(a.nodes, 2);
+        assert_eq!(a.endpoints, 8);
+    }
+}

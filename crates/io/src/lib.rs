@@ -1,0 +1,50 @@
+//! EDA interchange formats for the timing-predict workspace.
+//!
+//! Real flows exchange designs through a small set of text formats; this
+//! crate implements writers **and parsers** for simplified but faithful
+//! dialects of each, so generated designs, libraries, placements and
+//! timing results can leave and re-enter the workspace:
+//!
+//! - [`verilog`] — structural gate-level netlists (module / wire /
+//!   instance), round-tripping [`tp_graph::Circuit`];
+//! - [`liberty`] — the NLDM cell library (pin capacitances, 7×7
+//!   delay/slew tables per arc), round-tripping [`tp_liberty::Library`];
+//! - [`def`] — die area and pin placements, round-tripping
+//!   [`tp_place::Placement`];
+//! - [`sdf`] — standard delay format annotation written from a
+//!   [`tp_sta::TimingReport`] (IOPATH for cell arcs, INTERCONNECT for
+//!   net edges).
+//!
+//! Parsers are hand-rolled recursive-descent over a shared tokenizer; they
+//! return precise [`ParseError`]s with line numbers rather than panicking.
+//!
+//! # Example
+//!
+//! ```
+//! use tp_graph::CircuitBuilder;
+//! use tp_liberty::Library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = Library::synthetic_sky130(1);
+//! let mut b = CircuitBuilder::new("demo");
+//! let a = b.add_primary_input("a");
+//! let (_, ins, out) = b.add_cell("u0", library.type_id("INV_X1").unwrap(), 1);
+//! let z = b.add_primary_output("z");
+//! b.connect(a, &[ins[0]])?;
+//! b.connect(out, &[z])?;
+//! let circuit = b.finish()?;
+//!
+//! let text = tp_io::verilog::write(&circuit, &library);
+//! let parsed = tp_io::verilog::parse(&text, &library)?;
+//! assert_eq!(parsed.num_pins(), circuit.num_pins());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod def;
+pub mod liberty;
+pub mod sdf;
+mod token;
+pub mod verilog;
+
+pub use token::ParseError;

@@ -1,0 +1,216 @@
+//! Shared tokenizer and error type for the text formats.
+
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number where the failure was detected.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Splits `input` into identifiers/numbers and single-character punctuation
+/// (`(){};:,.->=[]`), skipping whitespace and `//`/`#` comments.
+pub(crate) fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line_no = lineno + 1;
+        let code = match (line.find("//"), line.find('#')) {
+            (Some(a), Some(b)) => &line[..a.min(b)],
+            (Some(a), None) => &line[..a],
+            (None, Some(b)) => &line[..b],
+            (None, None) => line,
+        };
+        let mut cur = String::new();
+        let mut chars = code.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_whitespace() {
+                if !cur.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut cur),
+                        line: line_no,
+                    });
+                }
+            } else if "(){};:,=[]".contains(c) {
+                if !cur.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut cur),
+                        line: line_no,
+                    });
+                }
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line: line_no,
+                });
+            } else if c == '-' && chars.peek() == Some(&'>') {
+                if !cur.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut cur),
+                        line: line_no,
+                    });
+                }
+                chars.next();
+                tokens.push(Token {
+                    text: "->".to_string(),
+                    line: line_no,
+                });
+            } else {
+                cur.push(c);
+            }
+        }
+        if !cur.is_empty() {
+            tokens.push(Token {
+                text: cur,
+                line: line_no,
+            });
+        }
+    }
+    tokens
+}
+
+/// Cursor over a token stream with expectation helpers.
+pub(crate) struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    pub fn new(input: &str) -> Cursor {
+        Cursor {
+            tokens: tokenize(input),
+            pos: 0,
+        }
+    }
+
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    pub fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes the next token, requiring it to equal `expected`.
+    pub fn expect(&mut self, expected: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.text == expected => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                format!("expected `{expected}`, found `{}`", t.text),
+            )),
+            None => Err(ParseError::new(
+                self.line(),
+                format!("expected `{expected}`, found end of input"),
+            )),
+        }
+    }
+
+    /// Consumes the next token as an identifier/number.
+    pub fn ident(&mut self) -> Result<Token, ParseError> {
+        match self.next() {
+            Some(t) if !"(){};:,=[]".contains(&t.text) => Ok(t),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                format!("expected identifier, found `{}`", t.text),
+            )),
+            None => Err(ParseError::new(self.line(), "unexpected end of input")),
+        }
+    }
+
+    /// Consumes the next token as an `f32`.
+    pub fn number(&mut self) -> Result<f32, ParseError> {
+        let t = self.ident()?;
+        t.text
+            .parse()
+            .map_err(|_| ParseError::new(t.line, format!("expected number, found `{}`", t.text)))
+    }
+
+    /// Returns whether the next token equals `text`, consuming it if so.
+    pub fn eat(&mut self, text: &str) -> bool {
+        if self.peek().map(|t| t.text == text).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_punctuation_and_comments() {
+        let toks = tokenize("a ( b ) ; // comment\nc.d -> e # more");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "(", "b", ")", ";", "c.d", "->", "e"]);
+        assert_eq!(toks[5].line, 2);
+    }
+
+    #[test]
+    fn cursor_expect_reports_line() {
+        let mut c = Cursor::new("foo\nbar");
+        c.expect("foo").unwrap();
+        let err = c.expect("baz").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("baz"));
+    }
+
+    #[test]
+    fn number_parsing() {
+        let mut c = Cursor::new("3.25 nan-ish");
+        assert_eq!(c.number().unwrap(), 3.25);
+        assert!(c.number().is_err());
+    }
+
+    #[test]
+    fn eat_is_conditional() {
+        let mut c = Cursor::new("x y");
+        assert!(!c.eat("y"));
+        assert!(c.eat("x"));
+        assert!(c.eat("y"));
+        assert!(c.is_done());
+    }
+}

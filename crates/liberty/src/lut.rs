@@ -1,0 +1,167 @@
+use crate::LUT_AXIS;
+
+/// A 7×7 NLDM lookup table over (input slew, output load).
+///
+/// `values[i * 7 + j]` is the table entry at slew index `i`, load index `j`.
+/// [`Lut::lookup`] performs bilinear interpolation; queries outside the grid
+/// clamp to the border cell and extrapolate linearly along each axis, the
+/// usual liberty engine behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut {
+    slew_index: [f32; LUT_AXIS],
+    load_index: [f32; LUT_AXIS],
+    values: Vec<f32>,
+    valid: bool,
+}
+
+impl Lut {
+    /// Creates a table from its axes and row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 49` or either axis is not strictly
+    /// increasing.
+    pub fn new(slew_index: [f32; LUT_AXIS], load_index: [f32; LUT_AXIS], values: Vec<f32>) -> Lut {
+        assert_eq!(values.len(), LUT_AXIS * LUT_AXIS, "LUT must be 7x7");
+        assert!(
+            slew_index.windows(2).all(|w| w[0] < w[1]),
+            "slew axis must be strictly increasing"
+        );
+        assert!(
+            load_index.windows(2).all(|w| w[0] < w[1]),
+            "load axis must be strictly increasing"
+        );
+        Lut {
+            slew_index,
+            load_index,
+            values,
+            valid: true,
+        }
+    }
+
+    /// An all-zero placeholder marked invalid (Table 3's "LUT is valid or
+    /// not" flag); lookups return 0.
+    pub fn invalid() -> Lut {
+        let mut slew = [0.0f32; LUT_AXIS];
+        let mut load = [0.0f32; LUT_AXIS];
+        for i in 0..LUT_AXIS {
+            slew[i] = i as f32;
+            load[i] = i as f32;
+        }
+        Lut {
+            slew_index: slew,
+            load_index: load,
+            values: vec![0.0; LUT_AXIS * LUT_AXIS],
+            valid: false,
+        }
+    }
+
+    /// Whether this table holds real data.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The slew (first) axis.
+    pub fn slew_index(&self) -> &[f32; LUT_AXIS] {
+        &self.slew_index
+    }
+
+    /// The load (second) axis.
+    pub fn load_index(&self) -> &[f32; LUT_AXIS] {
+        &self.load_index
+    }
+
+    /// Row-major 49-entry value matrix.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Finds the interpolation cell for `x` on `axis`: returns `(i, t)` such
+    /// that the query lies fraction `t` between `axis[i]` and `axis[i+1]`.
+    /// `t` may leave `[0, 1]` for out-of-grid queries (linear extrapolation).
+    fn locate(axis: &[f32; LUT_AXIS], x: f32) -> (usize, f32) {
+        let mut i = LUT_AXIS - 2;
+        for k in 0..LUT_AXIS - 1 {
+            if x <= axis[k + 1] {
+                i = k;
+                break;
+            }
+        }
+        let t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+        (i, t)
+    }
+
+    /// Bilinear interpolation at `(input_slew, output_load)`.
+    ///
+    /// Returns 0 for invalid tables.
+    pub fn lookup(&self, input_slew: f32, output_load: f32) -> f32 {
+        if !self.valid {
+            return 0.0;
+        }
+        let (i, ts) = Self::locate(&self.slew_index, input_slew);
+        let (j, tl) = Self::locate(&self.load_index, output_load);
+        let v00 = self.values[i * LUT_AXIS + j];
+        let v01 = self.values[i * LUT_AXIS + j + 1];
+        let v10 = self.values[(i + 1) * LUT_AXIS + j];
+        let v11 = self.values[(i + 1) * LUT_AXIS + j + 1];
+        let a = v00 + (v01 - v00) * tl;
+        let b = v10 + (v11 - v10) * tl;
+        a + (b - a) * ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_lut() -> Lut {
+        // values = 10*slew + 100*load, exactly recoverable by bilinear interp
+        let slew = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64];
+        let load = [0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064];
+        let mut values = Vec::with_capacity(49);
+        for &s in &slew {
+            for &l in &load {
+                values.push(10.0 * s + 100.0 * l);
+            }
+        }
+        Lut::new(slew, load, values)
+    }
+
+    #[test]
+    fn exact_at_grid_points() {
+        let lut = linear_lut();
+        assert!((lut.lookup(0.04, 0.008) - (0.4 + 0.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolates_linearly_between_points() {
+        let lut = linear_lut();
+        let mid = lut.lookup(0.03, 0.003);
+        assert!((mid - (0.3 + 0.3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extrapolates_beyond_grid() {
+        let lut = linear_lut();
+        let hi = lut.lookup(1.28, 0.128);
+        assert!((hi - (12.8 + 12.8)).abs() < 1e-4);
+        let lo = lut.lookup(0.0, 0.0);
+        assert!(lo.abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_lut_returns_zero() {
+        let lut = Lut::invalid();
+        assert!(!lut.is_valid());
+        assert_eq!(lut.lookup(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_axis_rejected() {
+        let mut slew = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64];
+        slew[3] = 0.01;
+        let load = [0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064];
+        let _ = Lut::new(slew, load, vec![0.0; 49]);
+    }
+}

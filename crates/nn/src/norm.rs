@@ -1,0 +1,153 @@
+//! Normalization and regularization layers.
+//!
+//! The deep-GNN literature the paper engages with (GCNII and the "bag of
+//! tricks" survey it cites) leans on normalization and dropout to keep
+//! deep stacks trainable; these are provided for experimenting with deeper
+//! baseline variants.
+
+use rand::Rng;
+use tp_tensor::Tensor;
+
+use crate::Module;
+
+/// Layer normalization over the feature axis of a `[N, D]` matrix, with
+/// learned gain and bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gain: Tensor,
+    bias: Tensor,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer for `dim`-wide features.
+    pub fn new(dim: usize) -> LayerNorm {
+        LayerNorm {
+            gain: Tensor::ones(&[dim]).with_grad(),
+            bias: Tensor::zeros(&[dim]).with_grad(),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalizes each row to zero mean / unit variance, then applies the
+    /// learned affine transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 with `dim` columns.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, d) = x.shape_obj().as_2d();
+        assert_eq!(d, self.dim, "LayerNorm width mismatch");
+        // per-row mean and variance, computed with differentiable ops
+        let mean = x.sum_axis1().mul_scalar(1.0 / d as f32); // [N]
+        let mean_col = mean.unsqueeze1(); // [N,1]
+        // broadcast subtraction: expand the column by an outer product
+        // against a ones row (keeps everything inside autograd)
+        let ones_row = Tensor::ones(&[1, d]);
+        let mean_full = mean_col.matmul(&ones_row); // [N,D]
+        let centered = x.sub(&mean_full);
+        let var = centered.square().sum_axis1().mul_scalar(1.0 / d as f32); // [N]
+        let inv_std = var.add_scalar(self.eps).sqrt(); // [N]
+        let inv_std_full = inv_std.unsqueeze1().matmul(&ones_row); // [N,D]
+        let normed = centered.div(&inv_std_full);
+        let _ = n;
+        normed.mul(&self.gain).add(&self.bias)
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gain.clone(), self.bias.clone()]
+    }
+}
+
+/// Inverted dropout: scales surviving activations by `1/(1-p)` during
+/// training so inference needs no correction.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p }
+    }
+
+    /// Applies dropout with the caller's RNG (training mode). For
+    /// inference simply skip the call.
+    pub fn forward<R: Rng>(&self, x: &Tensor, rng: &mut R) -> Tensor {
+        if self.p == 0.0 {
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
+        let m = Tensor::from_vec(mask, x.shape()).expect("mask matches input shape");
+        x.mul(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4])
+            .expect("consistent");
+        let y = ln.forward(&x);
+        let v = y.to_vec();
+        for row in v.chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "row mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_is_differentiable() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3])
+            .expect("consistent")
+            .with_grad();
+        ln.forward(&x).square().sum().backward();
+        assert!(x.grad().is_some());
+        assert!(ln.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, &mut rng);
+        let mean: f32 = y.to_vec().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let d = Dropout::new(0.0);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, &mut rng).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

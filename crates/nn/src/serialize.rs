@@ -1,0 +1,157 @@
+//! Minimal binary weight (de)serialization.
+//!
+//! Format: magic `TPW1`, little-endian `u32` tensor count, then per tensor a
+//! `u32` element count followed by that many little-endian `f32`s. Shapes
+//! are *not* stored: loading requires a freshly constructed module with the
+//! same architecture, matching how the training binaries restore models.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use tp_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"TPW1";
+
+/// Error produced when loading serialized weights.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the `TPW1` magic.
+    BadMagic,
+    /// Tensor count or a tensor length disagrees with the target parameters.
+    ArchitectureMismatch {
+        /// What the stream describes.
+        stored: usize,
+        /// What the live module expects.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o failure while reading weights: {e}"),
+            SerializeError::BadMagic => write!(f, "stream is not a TPW1 weight file"),
+            SerializeError::ArchitectureMismatch { stored, expected } => write!(
+                f,
+                "weight file shape mismatch: stored {stored}, module expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Writes `params` to `w` in `TPW1` format.
+///
+/// A mutable reference can be passed for `w` (e.g. `&mut Vec<u8>` or
+/// `&mut File`).
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn save_parameters<W: Write>(params: &[Tensor], mut w: W) -> Result<(), SerializeError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let data = p.to_vec();
+        w.write_all(&(data.len() as u32).to_le_bytes())?;
+        for v in data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads weights from `r` into `params` (in order), overwriting their data.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::BadMagic`] for a foreign stream and
+/// [`SerializeError::ArchitectureMismatch`] when tensor counts or lengths
+/// disagree with the live parameters.
+pub fn load_parameters<R: Read>(params: &[Tensor], mut r: R) -> Result<(), SerializeError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    if count != params.len() {
+        return Err(SerializeError::ArchitectureMismatch {
+            stored: count,
+            expected: params.len(),
+        });
+    }
+    for p in params {
+        r.read_exact(&mut u32buf)?;
+        let len = u32::from_le_bytes(u32buf) as usize;
+        if len != p.numel() {
+            return Err(SerializeError::ArchitectureMismatch {
+                stored: len,
+                expected: p.numel(),
+            });
+        }
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            r.read_exact(&mut u32buf)?;
+            values.push(f32::from_le_bytes(u32buf));
+        }
+        p.data_mut().copy_from_slice(&values);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mlp, Module};
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Mlp::small(4, 2, &mut rng);
+        let b = Mlp::small(4, 2, &mut rng);
+        let mut buf = Vec::new();
+        save_parameters(&a.parameters(), &mut buf).unwrap();
+        load_parameters(&b.parameters(), buf.as_slice()).unwrap();
+        let x = tp_tensor::Tensor::ones(&[1, 4]);
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = [tp_tensor::Tensor::zeros(&[2])];
+        let err = load_parameters(&p, &b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::BadMagic));
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Mlp::small(4, 2, &mut rng);
+        let b = Mlp::small(5, 2, &mut rng);
+        let mut buf = Vec::new();
+        save_parameters(&a.parameters(), &mut buf).unwrap();
+        let err = load_parameters(&b.parameters(), buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerializeError::ArchitectureMismatch { .. }));
+    }
+}

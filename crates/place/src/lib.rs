@@ -1,0 +1,41 @@
+//! Die model and placement generation.
+//!
+//! The paper predicts *post-routing* timing from a *placed* netlist, so pin
+//! locations are the key model input (Table 2: distances to the four die
+//! boundaries; Table 3: per-net-edge x/y distances). This crate provides:
+//!
+//! - [`Die`] — the placement region,
+//! - [`Placement`] — per-pin locations plus geometric queries (HPWL,
+//!   boundary distances),
+//! - [`place_circuit`] — a seeded quadratic-style placer: random spread
+//!   followed by neighborhood-centroid relaxation sweeps, which yields the
+//!   net locality a real analytical placer (RePlAce/DREAMPlace-class)
+//!   produces, with boundary-pinned I/O ports.
+//!
+//! # Example
+//!
+//! ```
+//! use tp_graph::CircuitBuilder;
+//! use tp_place::{place_circuit, PlacementConfig};
+//!
+//! # fn main() -> Result<(), tp_graph::GraphError> {
+//! let mut b = CircuitBuilder::new("t");
+//! let a = b.add_primary_input("a");
+//! let (_, ins, out) = b.add_cell("u0", 0, 1);
+//! let z = b.add_primary_output("z");
+//! b.connect(a, &[ins[0]])?;
+//! b.connect(out, &[z])?;
+//! let circuit = b.finish()?;
+//! let placement = place_circuit(&circuit, &PlacementConfig::default(), 1);
+//! assert!(placement.die().width > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod die;
+mod placement;
+mod placer;
+
+pub use die::{Die, Point};
+pub use placement::Placement;
+pub use placer::{place_circuit, PlacementConfig};

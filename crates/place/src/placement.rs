@@ -1,0 +1,118 @@
+use tp_graph::{Circuit, NetId, PinId};
+
+use crate::{Die, Point};
+
+/// Pin locations for one circuit on one die.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    die: Die,
+    locations: Vec<Point>,
+}
+
+impl Placement {
+    /// Wraps explicit per-pin locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any location lies outside the die.
+    pub fn new(die: Die, locations: Vec<Point>) -> Placement {
+        for (i, &p) in locations.iter().enumerate() {
+            assert!(die.contains(p), "pin {i} placed outside the die at {p:?}");
+        }
+        Placement { die, locations }
+    }
+
+    /// The placement region.
+    pub fn die(&self) -> &Die {
+        &self.die
+    }
+
+    /// Number of placed pins.
+    pub fn num_pins(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Location of `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn location(&self, pin: PinId) -> Point {
+        self.locations[pin.index()]
+    }
+
+    /// All locations, indexed by pin.
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// Half-perimeter wirelength of `net` in µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range for `circuit`.
+    pub fn net_hpwl(&self, circuit: &Circuit, net: NetId) -> f32 {
+        let data = circuit.net(net);
+        let mut min_x = f32::MAX;
+        let mut max_x = f32::MIN;
+        let mut min_y = f32::MAX;
+        let mut max_y = f32::MIN;
+        let mut visit = |p: PinId| {
+            let loc = self.location(p);
+            min_x = min_x.min(loc.x);
+            max_x = max_x.max(loc.x);
+            min_y = min_y.min(loc.y);
+            max_y = max_y.max(loc.y);
+        };
+        visit(data.driver);
+        for &s in &data.sinks {
+            visit(s);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Total HPWL over all nets, µm.
+    pub fn total_hpwl(&self, circuit: &Circuit) -> f32 {
+        circuit.net_ids().map(|n| self.net_hpwl(circuit, n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_graph::CircuitBuilder;
+
+    fn tiny() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_primary_input("a");
+        let (_, ins, out) = b.add_cell("u0", 0, 1);
+        let z = b.add_primary_output("z");
+        b.connect(a, &[ins[0]]).unwrap();
+        b.connect(out, &[z]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hpwl_of_two_pin_net() {
+        let c = tiny();
+        let die = Die::new(10.0, 10.0);
+        let locs = vec![
+            Point::new(0.0, 0.0), // a
+            Point::new(3.0, 4.0), // u0/a0
+            Point::new(3.5, 4.0), // u0/y
+            Point::new(9.0, 9.0), // z
+        ];
+        let p = Placement::new(die, locs);
+        // net 0: a -> u0/a0
+        let n0 = c.pin(PinId::new(0)).net.unwrap();
+        assert_eq!(p.net_hpwl(&c, n0), 7.0);
+        assert!(p.total_hpwl(&c) > 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the die")]
+    fn out_of_die_rejected() {
+        let die = Die::new(1.0, 1.0);
+        let _ = Placement::new(die, vec![Point::new(5.0, 0.0)]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Reverse-mode sweep: topological ordering and gradient propagation.
+
+use std::collections::HashSet;
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Runs backpropagation from this tensor.
+    ///
+    /// The tensor is seeded with a gradient of all ones (for the scalar
+    /// losses used in this workspace that is the conventional `dL/dL = 1`),
+    /// then every reachable node's backward closure runs in reverse
+    /// topological order, accumulating gradients into leaves created with
+    /// [`Tensor::with_grad`].
+    ///
+    /// Calling `backward` twice without [`Tensor::zero_grad`] accumulates
+    /// gradients, matching PyTorch semantics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use tp_tensor::Tensor;
+    /// let x = Tensor::from_slice(&[3.0]).with_grad();
+    /// let y = x.mul(&x); // y = x^2
+    /// y.backward();
+    /// assert_eq!(x.grad().unwrap(), vec![6.0]);
+    /// ```
+    pub fn backward(&self) {
+        if !self.requires_grad() {
+            return;
+        }
+        let order = self.topo_order();
+        // Gradients accumulate across backward calls on *leaves* only;
+        // interior nodes start each sweep fresh.
+        for node in &order {
+            if node.inner.backward.is_some() {
+                node.zero_grad();
+            }
+        }
+        self.accumulate_grad(&vec![1.0; self.numel()]);
+        for node in order.iter().rev() {
+            let grad = node.inner.grad.borrow().clone();
+            if let (Some(g), Some(back)) = (grad, node.inner.backward.as_ref()) {
+                back(&g);
+            }
+        }
+    }
+
+    /// Iterative DFS postorder over the parent DAG; each node appears after
+    /// all of its consumers have been popped during the reverse iteration.
+    fn topo_order(&self) -> Vec<Tensor> {
+        let mut order: Vec<Tensor> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        // Stack of (node, next-parent-index) to avoid recursion on deep
+        // graphs (levelized propagation chains can be hundreds long).
+        let mut stack: Vec<(Tensor, usize)> = vec![(self.clone(), 0)];
+        visited.insert(self.id());
+        while let Some((node, idx)) = stack.pop() {
+            if idx < node.inner.parents.len() {
+                let parent = node.inner.parents[idx].clone();
+                stack.push((node, idx + 1));
+                if parent.requires_grad() && visited.insert(parent.id()) {
+                    stack.push((parent, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn chain_rule_through_shared_node() {
+        // y = (x + x) * x = 2x^2, dy/dx = 4x
+        let x = Tensor::from_slice(&[5.0]).with_grad();
+        let y = x.add(&x).mul(&x);
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![20.0]);
+    }
+
+    #[test]
+    fn backward_is_noop_without_grad() {
+        let x = Tensor::from_slice(&[1.0]);
+        let y = x.add(&x);
+        y.backward();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let x = Tensor::from_slice(&[1.0]).with_grad();
+        let mut y = x.clone();
+        for _ in 0..5_000 {
+            y = y.add_scalar(0.0);
+        }
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn double_backward_accumulates() {
+        let x = Tensor::from_slice(&[2.0]).with_grad();
+        let y = x.mul(&x);
+        y.backward();
+        y.backward();
+        assert_eq!(x.grad().unwrap(), vec![8.0]);
+    }
+}

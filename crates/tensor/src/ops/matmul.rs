@@ -1,0 +1,159 @@
+//! Dense matrix multiplication and 2-D transpose.
+
+use crate::tensor::BackwardFn;
+use crate::{Shape, Tensor};
+
+/// `out[m,n] += a[m,k] * b[k,n]` with an i-k-j loop order that streams both
+/// operands row-major (cache friendly for the small K typical of MLPs).
+fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0; src.len()];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = src[i * cols + j];
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors, `[M, K] × [K, N] → [M, N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions
+    /// disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use tp_tensor::Tensor;
+    /// # fn main() -> Result<(), tp_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&i).to_vec(), a.to_vec());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = self.shape_obj().as_2d();
+        let (k2, n) = rhs.shape_obj().as_2d();
+        assert_eq!(
+            k, k2,
+            "matmul inner dims disagree: {} vs {}",
+            self.shape_obj(),
+            rhs.shape_obj()
+        );
+        let mut out = vec![0.0; m * n];
+        gemm(&self.data(), &rhs.data(), m, k, n, &mut out);
+
+        let lhs_snap = self.to_vec();
+        let rhs_snap = rhs.to_vec();
+        let (lhs_t, rhs_t) = (self.clone(), rhs.clone());
+        let backward: BackwardFn = Box::new(move |g: &[f32]| {
+            // dL/dA = G · Bᵀ ; dL/dB = Aᵀ · G
+            if lhs_t.requires_grad() {
+                let bt = transpose(&rhs_snap, k, n);
+                let mut ga = vec![0.0; m * k];
+                gemm(g, &bt, m, n, k, &mut ga);
+                lhs_t.accumulate_grad(&ga);
+            }
+            if rhs_t.requires_grad() {
+                let at = transpose(&lhs_snap, m, k);
+                let mut gb = vec![0.0; k * n];
+                gemm(&at, g, k, m, n, &mut gb);
+                rhs_t.accumulate_grad(&gb);
+            }
+        });
+        Tensor::from_op(
+            out,
+            Shape::new(&[m, n]),
+            vec![self.clone(), rhs.clone()],
+            backward,
+        )
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn t(&self) -> Tensor {
+        let (r, c) = self.shape_obj().as_2d();
+        let out = transpose(&self.data(), r, c);
+        let src = self.clone();
+        let backward: BackwardFn = Box::new(move |g: &[f32]| {
+            if src.requires_grad() {
+                src.accumulate_grad(&transpose(g, c, r));
+            }
+        });
+        Tensor::from_op(out, Shape::new(&[c, r]), vec![self.clone()], backward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_2x3_3x2() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7., 8., 9., 10., 11., 12.], &[3, 2]).unwrap();
+        let y = a.matmul(&b);
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.to_vec(), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        // y = sum(A·B); dy/dA = ones·Bᵀ, dy/dB = Aᵀ·ones
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap().with_grad();
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2]).unwrap().with_grad();
+        a.matmul(&b).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![11., 15., 11., 15.]);
+        assert_eq!(b.grad().unwrap(), vec![4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        let tt = a.t().t();
+        assert_eq!(tt.to_vec(), a.to_vec());
+        assert_eq!(tt.shape(), a.shape());
+    }
+
+    #[test]
+    fn transpose_gradient() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap().with_grad();
+        let w = Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], &[3, 2]).unwrap();
+        a.t().mul(&w).sum().backward();
+        // grad of a is w transposed back to [2,3]
+        assert_eq!(a.grad().unwrap(), vec![1., 0., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Differentiable tensor operations.
+//!
+//! All operations are methods on [`Tensor`](crate::Tensor), grouped here by
+//! family:
+//!
+//! - [`elementwise`] — add/sub/mul/div, scalar variants, activations, math,
+//! - [`matmul`] — dense matrix multiplication and 2-D transpose,
+//! - [`reduce`] — sum/mean over all elements or along an axis,
+//! - [`index`] — row gathering and segment (scatter) reductions,
+//! - [`shapeops`] — reshape, concatenation, column slicing, row-wise outer
+//!   products.
+
+pub mod elementwise;
+pub mod index;
+pub mod matmul;
+pub mod reduce;
+pub mod shapeops;

@@ -1,0 +1,152 @@
+//! Reductions: sum/mean over all elements or along an axis of a matrix.
+
+use crate::tensor::BackwardFn;
+use crate::{Shape, Tensor};
+
+impl Tensor {
+    /// Sum of all elements, returned as a `[1]` tensor.
+    pub fn sum(&self) -> Tensor {
+        let total: f32 = self.data().iter().sum();
+        let n = self.numel();
+        let src = self.clone();
+        let backward: BackwardFn = Box::new(move |g: &[f32]| {
+            if src.requires_grad() {
+                src.accumulate_grad(&vec![g[0]; n]);
+            }
+        });
+        Tensor::from_op(vec![total], Shape::new(&[1]), vec![self.clone()], backward)
+    }
+
+    /// Mean of all elements, returned as a `[1]` tensor.
+    pub fn mean(&self) -> Tensor {
+        let n = self.numel() as f32;
+        self.sum().mul_scalar(1.0 / n)
+    }
+
+    /// Sum along axis 1 of a matrix: `[N, D] → [N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_axis1(&self) -> Tensor {
+        let (n, d) = self.shape_obj().as_2d();
+        let data = self.data();
+        let out: Vec<f32> = (0..n).map(|i| data[i * d..(i + 1) * d].iter().sum()).collect();
+        drop(data);
+        let src = self.clone();
+        let backward: BackwardFn = Box::new(move |g: &[f32]| {
+            if src.requires_grad() {
+                let mut gs = vec![0.0; n * d];
+                for i in 0..n {
+                    for j in 0..d {
+                        gs[i * d + j] = g[i];
+                    }
+                }
+                src.accumulate_grad(&gs);
+            }
+        });
+        Tensor::from_op(out, Shape::new(&[n]), vec![self.clone()], backward)
+    }
+
+    /// Sum along axis 0 of a matrix: `[N, D] → [D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_axis0(&self) -> Tensor {
+        let (n, d) = self.shape_obj().as_2d();
+        let data = self.data();
+        let mut out = vec![0.0; d];
+        for row in data.chunks(d) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        drop(data);
+        let src = self.clone();
+        let backward: BackwardFn = Box::new(move |g: &[f32]| {
+            if src.requires_grad() {
+                let mut gs = vec![0.0; n * d];
+                for i in 0..n {
+                    gs[i * d..(i + 1) * d].copy_from_slice(g);
+                }
+                src.accumulate_grad(&gs);
+            }
+        });
+        Tensor::from_op(out, Shape::new(&[d]), vec![self.clone()], backward)
+    }
+
+    /// Mean-squared-error against `target` (which carries no gradient
+    /// requirement in typical use), returned as a `[1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse(&self, target: &Tensor) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            target.shape(),
+            "mse operands must share a shape"
+        );
+        self.sub(target).square().mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn sum_and_mean() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+        assert_eq!(a.sum().item(), 10.0);
+        assert_eq!(a.mean().item(), 2.5);
+    }
+
+    #[test]
+    fn sum_grad_is_ones() {
+        let a = Tensor::zeros(&[3]).with_grad();
+        a.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn mean_grad_is_uniform() {
+        let a = Tensor::zeros(&[4]).with_grad();
+        a.mean().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn sum_axis1_values_and_grad() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap().with_grad();
+        let y = a.sum_axis1();
+        assert_eq!(y.to_vec(), vec![6.0, 15.0]);
+        y.mul(&Tensor::from_slice(&[1.0, 10.0])).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1., 1., 1., 10., 10., 10.]);
+    }
+
+    #[test]
+    fn sum_axis0_values_and_grad() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap().with_grad();
+        let y = a.sum_axis0();
+        assert_eq!(y.to_vec(), vec![4.0, 6.0]);
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(a.mse(&a).item(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient() {
+        let a = Tensor::from_slice(&[3.0]).with_grad();
+        let t = Tensor::from_slice(&[1.0]);
+        a.mse(&t).backward();
+        // d/da (a-t)^2 = 2(a-t) = 4
+        assert_eq!(a.grad().unwrap(), vec![4.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based gradient verification against central finite differences.
+//!
+//! For every differentiable op we build a scalar loss `L(x) = Σ f(x) ⊙ w`
+//! with random weights `w`, compute analytic gradients via backprop, and
+//! compare against `(L(x+h) - L(x-h)) / 2h` per coordinate.
+
+use proptest::prelude::*;
+use tp_tensor::Tensor;
+
+const H: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Evaluates `loss(x_data)` freshly (no autograd) for finite differences.
+fn numeric_grad(
+    x_data: &[f32],
+    shape: &[usize],
+    loss: &dyn Fn(&Tensor) -> Tensor,
+) -> Vec<f32> {
+    let mut grads = Vec::with_capacity(x_data.len());
+    for i in 0..x_data.len() {
+        let mut plus = x_data.to_vec();
+        plus[i] += H;
+        let mut minus = x_data.to_vec();
+        minus[i] -= H;
+        let lp = loss(&Tensor::from_vec(plus, shape).unwrap()).item();
+        let lm = loss(&Tensor::from_vec(minus, shape).unwrap()).item();
+        grads.push((lp - lm) / (2.0 * H));
+    }
+    grads
+}
+
+fn check_op(
+    x_data: Vec<f32>,
+    shape: &[usize],
+    loss: impl Fn(&Tensor) -> Tensor,
+) -> Result<(), TestCaseError> {
+    let x = Tensor::from_vec(x_data.clone(), shape).unwrap().with_grad();
+    loss(&x).backward();
+    let analytic = x.grad().expect("gradient must exist");
+    let numeric = numeric_grad(&x_data, shape, &loss);
+    for (i, (&a, &n)) in analytic.iter().zip(&numeric).enumerate() {
+        let scale = a.abs().max(n.abs()).max(1.0);
+        prop_assert!(
+            (a - n).abs() / scale < TOL,
+            "coordinate {i}: analytic {a} vs numeric {n}"
+        );
+    }
+    Ok(())
+}
+
+fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, n)
+}
+
+/// Values bounded away from zero, for ops with kinks or singularities there.
+fn vals_nonzero(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.3f32..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_tanh(v in vals(6)) {
+        check_op(v, &[2, 3], |x| x.tanh().sum())?;
+    }
+
+    #[test]
+    fn grad_sigmoid(v in vals(6)) {
+        check_op(v, &[6], |x| x.sigmoid().sum())?;
+    }
+
+    #[test]
+    fn grad_softplus(v in vals(4)) {
+        check_op(v, &[4], |x| x.softplus().sum())?;
+    }
+
+    #[test]
+    fn grad_square_mean(v in vals(8)) {
+        check_op(v, &[2, 4], |x| x.square().mean())?;
+    }
+
+    #[test]
+    fn grad_exp(v in vals(4)) {
+        check_op(v, &[4], |x| x.exp().sum())?;
+    }
+
+    #[test]
+    fn grad_ln(v in vals_nonzero(4)) {
+        check_op(v, &[4], |x| x.ln().sum())?;
+    }
+
+    #[test]
+    fn grad_sqrt(v in vals_nonzero(4)) {
+        check_op(v, &[4], |x| x.sqrt().sum())?;
+    }
+
+    #[test]
+    fn grad_matmul(v in vals(6)) {
+        let w = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, 1.5, -0.75], &[3, 2]).unwrap();
+        check_op(v, &[2, 3], move |x| x.matmul(&w).sum())?;
+    }
+
+    #[test]
+    fn grad_mul_chain(v in vals(4)) {
+        check_op(v, &[4], |x| x.mul(x).add(x).sum())?;
+    }
+
+    #[test]
+    fn grad_div_by_const(v in vals(4)) {
+        let c = Tensor::from_slice(&[2.0, 4.0, 0.5, 1.0]);
+        check_op(v, &[4], move |x| x.div(&c).sum())?;
+    }
+
+    #[test]
+    fn grad_gather(v in vals(6)) {
+        check_op(v, &[3, 2], |x| x.gather_rows(&[2, 0, 0, 1]).square().sum())?;
+    }
+
+    #[test]
+    fn grad_segment_sum(v in vals(8)) {
+        check_op(v, &[4, 2], |x| {
+            x.segment_sum(&[0, 1, 0, 1], 2).square().sum()
+        })?;
+    }
+
+    #[test]
+    fn grad_concat_and_narrow(v in vals(6)) {
+        check_op(v, &[3, 2], |x| {
+            let left = x.narrow_cols(0, 1);
+            let right = x.narrow_cols(1, 1);
+            Tensor::concat_cols(&[&right, &left]).square().sum()
+        })?;
+    }
+
+    #[test]
+    fn grad_outer_flatten(v in vals(4)) {
+        let w = Tensor::from_vec(vec![1.0, -0.5, 0.25, 2.0], &[2, 2]).unwrap();
+        check_op(v, &[2, 2], move |x| x.outer_flatten(&w).sum())?;
+    }
+
+    #[test]
+    fn grad_sum_axes(v in vals(6)) {
+        check_op(v.clone(), &[2, 3], |x| x.sum_axis1().square().sum())?;
+        check_op(v, &[2, 3], |x| x.sum_axis0().square().sum())?;
+    }
+
+    #[test]
+    fn grad_mse(v in vals(4)) {
+        let t = Tensor::from_slice(&[0.1, -0.2, 0.3, -0.4]);
+        check_op(v, &[4], move |x| x.mse(&t))?;
+    }
+
+    #[test]
+    fn segment_sum_matches_naive(v in vals(12), segs in proptest::collection::vec(0usize..3, 6)) {
+        let x = Tensor::from_vec(v.clone(), &[6, 2]).unwrap();
+        let y = x.segment_sum(&segs, 3);
+        let mut expect = vec![0.0f32; 6];
+        for (r, &s) in segs.iter().enumerate() {
+            expect[s * 2] += v[r * 2];
+            expect[s * 2 + 1] += v[r * 2 + 1];
+        }
+        let got = y.to_vec();
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn segment_max_matches_naive(v in vals(12), segs in proptest::collection::vec(0usize..3, 6)) {
+        let x = Tensor::from_vec(v.clone(), &[6, 2]).unwrap();
+        let y = x.segment_max(&segs, 3);
+        let mut expect = vec![f32::NEG_INFINITY; 6];
+        for (r, &s) in segs.iter().enumerate() {
+            for j in 0..2 {
+                expect[s * 2 + j] = expect[s * 2 + j].max(v[r * 2 + j]);
+            }
+        }
+        for e in expect.iter_mut() {
+            if *e == f32::NEG_INFINITY {
+                *e = 0.0;
+            }
+        }
+        let got = y.to_vec();
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-4);
+        }
+    }
+}

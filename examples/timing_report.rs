@@ -1,0 +1,71 @@
+//! Signoff-style artifacts: generate a design, analyze it, print the top
+//! critical paths (`report_timing` style), and write the standard
+//! interchange files — structural Verilog, DEF placement, liberty library
+//! and SDF delay annotation — then read the netlist and placement back to
+//! prove the round trip.
+//!
+//! Run with: `cargo run --release --example timing_report [benchmark]`
+
+use std::fs;
+
+use timing_predict::gen::{generate, BenchmarkSpec, GeneratorConfig};
+use timing_predict::io;
+use timing_predict::liberty::Library;
+use timing_predict::place::{place_circuit, PlacementConfig};
+use timing_predict::sta::flow::run_full_flow;
+use timing_predict::sta::{format_path, worst_paths, StaConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("zipdiv");
+
+    let library = Library::synthetic_sky130(1);
+    let spec = BenchmarkSpec::by_name(name).ok_or("unknown benchmark name")?;
+    let circuit = generate(
+        spec,
+        &library,
+        &GeneratorConfig {
+            scale: 0.05,
+            seed: 2,
+            depth: None,
+        },
+    );
+    let placement = place_circuit(&circuit, &PlacementConfig::default(), 7);
+    let flow = run_full_flow(&circuit, &placement, &library, &StaConfig::default());
+    let topology = circuit.topology();
+
+    // --- report_timing: top-3 critical paths ---
+    println!("== top critical paths of {} ==\n", circuit.name());
+    for path in worst_paths(&circuit, &topology, &flow.report, 3) {
+        println!("{}", format_path(&circuit, &path));
+    }
+
+    // --- write the interchange files ---
+    let dir = std::env::temp_dir().join("timing_predict_artifacts");
+    fs::create_dir_all(&dir)?;
+    let v_path = dir.join(format!("{name}.v"));
+    let def_path = dir.join(format!("{name}.def"));
+    let lib_path = dir.join("synthetic_sky130.lib");
+    let sdf_path = dir.join(format!("{name}.sdf"));
+    fs::write(&v_path, io::verilog::write(&circuit, &library))?;
+    fs::write(&def_path, io::def::write(&circuit, &placement))?;
+    fs::write(&lib_path, io::liberty::write(&library, "synthetic_sky130"))?;
+    fs::write(&sdf_path, io::sdf::write(&circuit, &library, &flow.report))?;
+    println!("wrote:");
+    for p in [&v_path, &def_path, &lib_path, &sdf_path] {
+        println!("  {} ({} bytes)", p.display(), fs::metadata(p)?.len());
+    }
+
+    // --- round trip: parse everything back and re-time ---
+    let lib2 = io::liberty::parse(&fs::read_to_string(&lib_path)?)?;
+    let circuit2 = io::verilog::parse(&fs::read_to_string(&v_path)?, &lib2)?;
+    let placement2 = io::def::parse(&fs::read_to_string(&def_path)?, &circuit2)?;
+    let flow2 = run_full_flow(&circuit2, &placement2, &lib2, &StaConfig::default());
+    println!(
+        "\nround trip: WNS {:+.4} ns (original {:+.4} ns), stats match: {}",
+        flow2.report.wns_setup(),
+        flow.report.wns_setup(),
+        circuit2.stats() == circuit.stats()
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Full training run of the timer-inspired GNN on the 21-design suite:
+//! trains on the 14 paper-split training designs and reports endpoint
+//! arrival-time R² on all designs, mirroring the Table-5 protocol.
+//!
+//! Run with: `cargo run --release --example train_slack [scale] [epochs]`
+//! (defaults: scale 0.01, 60 epochs — a couple of minutes on a laptop).
+
+use timing_predict::data::{Dataset, DatasetConfig};
+use timing_predict::gen::GeneratorConfig;
+use timing_predict::gnn::{ModelConfig, TimingGnn, TrainConfig, Trainer};
+use timing_predict::liberty::Library;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let library = Library::synthetic_sky130(42);
+    eprintln!("building dataset at scale {scale}…");
+    let dataset = Dataset::build_suite(
+        &library,
+        &DatasetConfig {
+            generator: GeneratorConfig {
+                scale,
+                seed: 42,
+                depth: None,
+            },
+            ..Default::default()
+        },
+    );
+
+    let mut trainer = Trainer::new(
+        TimingGnn::new(&ModelConfig::default()),
+        TrainConfig {
+            epochs,
+            log_every: 10,
+            ..Default::default()
+        },
+    );
+    eprintln!("training {epochs} epochs on the 14 train designs…");
+    let history = trainer.fit(&dataset);
+    let last = history.last().expect("epochs > 0");
+    println!(
+        "final combined loss {:.5} (atslew {:.5} / celld {:.5} / netd {:.5})",
+        last.total, last.atslew, last.celld, last.netd
+    );
+
+    println!("\n{:<7}{:<15}{:>12}", "split", "design", "arrival R²");
+    let mut train_acc = (0.0, 0);
+    let mut test_acc = (0.0, 0);
+    for d in dataset.designs() {
+        let r2 = trainer.evaluate_arrival_r2(d);
+        if d.is_train {
+            train_acc = (train_acc.0 + r2, train_acc.1 + 1);
+        } else {
+            test_acc = (test_acc.0 + r2, test_acc.1 + 1);
+        }
+        println!(
+            "{:<7}{:<15}{:>12.4}",
+            if d.is_train { "train" } else { "TEST" },
+            d.name,
+            r2
+        );
+    }
+    println!(
+        "\naverages: train {:.4}, test {:.4}",
+        train_acc.0 / train_acc.1.max(1) as f64,
+        test_acc.0 / test_acc.1.max(1) as f64
+    );
+}

@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the whole TimingPredict reproduction workspace.
+pub use tp_baselines as baselines;
+pub use tp_data as data;
+pub use tp_gen as gen;
+pub use tp_gnn as gnn;
+pub use tp_graph as graph;
+pub use tp_io as io;
+pub use tp_liberty as liberty;
+pub use tp_place as place;
+pub use tp_route as route;
+pub use tp_sta as sta;
+pub use tp_tensor as tensor;
+pub use tp_nn as nn;
