@@ -1,8 +1,7 @@
 //! CART regression trees and bagged random forests — the classical
 //! net-delay baseline of Barboza et al. (DAC'19) used in Table 4.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tp_rng::{Rng, StdRng};
 
 /// Tree/forest growth parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,7 +1,6 @@
 //! GCNII (paper Sec. 2.2, Eqs. 1–3).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tp_rng::StdRng;
 use tp_data::{DesignGraph, PIN_FEATURES};
 use tp_nn::{Activation, Linear, Mlp, Module};
 use tp_tensor::ops::elementwise::mask_rows;

@@ -122,7 +122,7 @@ impl Standardizer {
         assert!(!data.is_empty(), "cannot standardize an empty dataset");
         let n = data.len() as f64;
         let mut mean = vec![0.0f64; STATS_FEATURES];
-        let mut var = vec![0.0f64; STATS_FEATURES];
+        let mut var = [0.0f64; STATS_FEATURES];
         for row in data.x.chunks(STATS_FEATURES) {
             for (m, &v) in mean.iter_mut().zip(row) {
                 *m += v as f64;

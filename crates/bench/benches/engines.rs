@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the EDA substrate: generation, placement,
+//! Micro-benchmarks for the EDA substrate: generation, placement,
 //! Steiner routing + Elmore annotation, and the levelized STA engine.
 //! These are the runtime building blocks behind Table 5's "OpenROAD flow"
 //! column (at our substitute's scale).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tp_bench::micro::Suite;
 use tp_gen::{generate, BenchmarkSpec, GeneratorConfig};
 use tp_graph::Circuit;
 use tp_liberty::Library;
@@ -27,61 +27,53 @@ fn fixture(scale: f64) -> (Library, Circuit, Placement) {
     (library, circuit, placement)
 }
 
-fn bench_generate(c: &mut Criterion) {
+fn bench_generate(suite: &mut Suite) {
     let library = Library::synthetic_sky130(1);
     let spec = BenchmarkSpec::by_name("picorv32a").expect("known benchmark");
-    let mut group = c.benchmark_group("generate");
-    group.sample_size(10);
     for scale in [0.01, 0.05] {
-        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
-            b.iter(|| {
-                generate(
-                    spec,
-                    &library,
-                    &GeneratorConfig {
-                        scale,
-                        seed: 1,
-                        depth: None,
-                    },
-                )
-            })
+        suite.bench(&format!("generate/picorv32a@{scale}"), || {
+            generate(
+                spec,
+                &library,
+                &GeneratorConfig {
+                    scale,
+                    seed: 1,
+                    depth: None,
+                },
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_place(c: &mut Criterion) {
+fn bench_place(suite: &mut Suite) {
     let (_library, circuit, _) = fixture(0.05);
-    let mut group = c.benchmark_group("place");
-    group.sample_size(10);
-    group.bench_function("picorv32a@0.05", |b| {
-        b.iter(|| place_circuit(&circuit, &PlacementConfig::default(), 2))
+    suite.bench("place/picorv32a@0.05", || {
+        place_circuit(&circuit, &PlacementConfig::default(), 2)
     });
-    group.finish();
 }
 
-fn bench_route(c: &mut Criterion) {
+fn bench_route(suite: &mut Suite) {
     let (library, circuit, placement) = fixture(0.05);
-    let mut group = c.benchmark_group("route_elmore");
-    group.sample_size(10);
-    group.bench_function("picorv32a@0.05", |b| {
-        b.iter(|| route_circuit(&circuit, &placement, &library, &RoutingConfig::default()))
+    suite.bench("route_elmore/picorv32a@0.05", || {
+        route_circuit(&circuit, &placement, &library, &RoutingConfig::default())
     });
-    group.finish();
 }
 
-fn bench_sta(c: &mut Criterion) {
+fn bench_sta(suite: &mut Suite) {
     let (library, circuit, placement) = fixture(0.05);
     let routing = route_circuit(&circuit, &placement, &library, &RoutingConfig::default());
     let topology = circuit.topology();
     let engine = StaEngine::new(&library, StaConfig::default());
-    let mut group = c.benchmark_group("sta_engine");
-    group.sample_size(10);
-    group.bench_function("propagate:picorv32a@0.05", |b| {
-        b.iter(|| engine.run_with_routing(&circuit, &topology, &routing))
+    suite.bench("sta_propagate/picorv32a@0.05", || {
+        engine.run_with_routing(&circuit, &topology, &routing)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_generate, bench_place, bench_route, bench_sta);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("engines");
+    bench_generate(&mut suite);
+    bench_place(&mut suite);
+    bench_route(&mut suite);
+    bench_sta(&mut suite);
+    suite.finish();
+}

@@ -1,14 +1,14 @@
-//! Criterion benchmarks for model inference: the timer-inspired GNN (the
+//! Micro-benchmarks for model inference: the timer-inspired GNN (the
 //! Table-5 "Our GNN" runtime column), its two stages separately, the GCNII
 //! baseline, and the learned LUT-interpolation module.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
 use tp_baselines::{Gcnii, GcniiConfig, NormalizedGraph};
+use tp_bench::micro::Suite;
 use tp_data::{Dataset, DatasetConfig, DesignGraph};
 use tp_gen::GeneratorConfig;
 use tp_gnn::{LutModule, ModelConfig, NetEmbed, PropPlan, TimingGnn};
 use tp_liberty::Library;
+use tp_rng::StdRng;
 use tp_tensor::Tensor;
 
 fn design(scale: f64) -> DesignGraph {
@@ -27,62 +27,47 @@ fn design(scale: f64) -> DesignGraph {
     ds.by_name("usbf_device").expect("suite member").clone()
 }
 
-fn bench_gnn_inference(c: &mut Criterion) {
-    let d = design(0.02);
-    let plan = PropPlan::build(&d);
+fn bench_gnn_inference(suite: &mut Suite, d: &DesignGraph) {
+    let plan = PropPlan::build(d);
     let model = TimingGnn::new(&ModelConfig::default());
-    let mut group = c.benchmark_group("gnn_inference");
-    group.sample_size(10);
-    group.bench_function("usbf_device@0.02", |b| b.iter(|| model.forward(&d, &plan)));
-    group.finish();
+    suite.bench("gnn_inference/usbf_device@0.02", || model.forward(d, &plan));
 }
 
-fn bench_net_embedding(c: &mut Criterion) {
-    let d = design(0.02);
+fn bench_net_embedding(suite: &mut Suite, d: &DesignGraph) {
     let model = NetEmbed::new(12, &[32, 32], 1);
-    let mut group = c.benchmark_group("net_embedding");
-    group.sample_size(10);
-    group.bench_function("usbf_device@0.02", |b| b.iter(|| model.embed(&d)));
-    group.finish();
+    suite.bench("net_embedding/usbf_device@0.02", || model.embed(d));
 }
 
-fn bench_gcnii(c: &mut Criterion) {
-    let d = design(0.02);
-    let graph = NormalizedGraph::build(&d);
-    let mut group = c.benchmark_group("gcnii_forward");
-    group.sample_size(10);
+fn bench_gcnii(suite: &mut Suite, d: &DesignGraph) {
+    let graph = NormalizedGraph::build(d);
     for layers in [4usize, 8, 16] {
         let model = Gcnii::new(&GcniiConfig {
             layers,
             dim: 24,
             ..Default::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
-            b.iter(|| model.forward(&d, &graph))
+        suite.bench(&format!("gcnii_forward/{layers}_layers"), || {
+            model.forward(d, &graph)
         });
     }
-    group.finish();
 }
 
-fn bench_lut_module(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+fn bench_lut_module(suite: &mut Suite, d: &DesignGraph) {
+    let mut rng = StdRng::seed_from_u64(3);
     let lut = LutModule::new(20, &[32, 32], &mut rng);
-    let d = design(0.02);
     let e = d.num_cell_edges().min(2048);
     let idx: Vec<usize> = (0..e).collect();
     let ef = d.cell_edge_features.gather_rows(&idx);
     let x = Tensor::ones(&[e, 20]);
-    let mut group = c.benchmark_group("lut_interp");
-    group.sample_size(10);
-    group.bench_function(format!("{e}_arcs"), |b| b.iter(|| lut.forward(&x, &ef)));
-    group.finish();
+    suite.bench(&format!("lut_interp/{e}_arcs"), || lut.forward(&x, &ef));
 }
 
-criterion_group!(
-    benches,
-    bench_gnn_inference,
-    bench_net_embedding,
-    bench_gcnii,
-    bench_lut_module
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("models");
+    let d = design(0.02);
+    bench_gnn_inference(&mut suite, &d);
+    bench_net_embedding(&mut suite, &d);
+    bench_gcnii(&mut suite, &d);
+    bench_lut_module(&mut suite, &d);
+    suite.finish();
+}

@@ -1,60 +1,48 @@
-//! Criterion benchmarks for the autograd substrate: the dense and graph
+//! Micro-benchmarks for the autograd substrate: the dense and graph
 //! primitives every model step decomposes into.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use tp_bench::micro::Suite;
+use tp_rng::StdRng;
 use tp_tensor::Tensor;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let mut group = c.benchmark_group("matmul");
-    group.sample_size(20);
+fn bench_matmul(suite: &mut Suite) {
+    let mut rng = StdRng::seed_from_u64(0);
     for n in [64usize, 256, 1024] {
         let a = Tensor::randn(&[n, 64], 0.0, 1.0, &mut rng);
         let b = Tensor::randn(&[64, 64], 0.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| a.matmul(&b))
-        });
+        suite.bench(&format!("matmul/{n}x64"), || a.matmul(&b));
     }
-    group.finish();
 }
 
-fn bench_segment_ops(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+fn bench_segment_ops(suite: &mut Suite) {
+    let mut rng = StdRng::seed_from_u64(1);
     let e = 20_000;
     let n = 5_000;
     let x = Tensor::randn(&[e, 32], 0.0, 1.0, &mut rng);
     let segs: Vec<usize> = (0..e).map(|i| i % n).collect();
-    let mut group = c.benchmark_group("segment_ops");
-    group.sample_size(20);
-    group.bench_function("segment_sum_20k_32", |b| {
-        b.iter(|| x.segment_sum(&segs, n))
-    });
-    group.bench_function("segment_max_20k_32", |b| {
-        b.iter(|| x.segment_max(&segs, n))
-    });
-    group.bench_function("gather_20k_32", |b| b.iter(|| x.gather_rows(&segs)));
-    group.finish();
+    suite.bench("segment_sum_20k_32", || x.segment_sum(&segs, n));
+    suite.bench("segment_max_20k_32", || x.segment_max(&segs, n));
+    suite.bench("gather_20k_32", || x.gather_rows(&segs));
 }
 
-fn bench_backward(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+fn bench_backward(suite: &mut Suite) {
+    let mut rng = StdRng::seed_from_u64(2);
     let w1 = Tensor::randn(&[64, 64], 0.0, 0.1, &mut rng).with_grad();
     let w2 = Tensor::randn(&[64, 64], 0.0, 0.1, &mut rng).with_grad();
     let x = Tensor::randn(&[1024, 64], 0.0, 1.0, &mut rng);
-    let mut group = c.benchmark_group("autograd");
-    group.sample_size(20);
-    group.bench_function("mlp_fwd_bwd_1024x64", |b| {
-        b.iter(|| {
-            let loss = x.matmul(&w1).relu().matmul(&w2).square().mean();
-            w1.zero_grad();
-            w2.zero_grad();
-            loss.backward();
-            loss.item()
-        })
+    suite.bench("mlp_fwd_bwd_1024x64", || {
+        let loss = x.matmul(&w1).relu().matmul(&w2).square().mean();
+        w1.zero_grad();
+        w2.zero_grad();
+        loss.backward();
+        loss.item()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_segment_ops, bench_backward);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("tensor_ops");
+    bench_matmul(&mut suite);
+    bench_segment_ops(&mut suite);
+    bench_backward(&mut suite);
+    suite.finish();
+}

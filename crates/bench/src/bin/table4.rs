@@ -2,7 +2,6 @@
 //! random forest and MLP (Barboza et al. [5]) vs. the paper's net-embedding
 //! GNN, per design plus train/test averages.
 
-use rand::SeedableRng;
 use tp_baselines::stats::{net_delay_features, rf4, Standardizer, StatsDataset, STATS_FEATURES};
 use tp_baselines::ForestConfig;
 use tp_bench::{build_dataset, fmt_r2, print_table, ExperimentConfig};
@@ -16,12 +15,12 @@ const LOG_EPS: f32 = 1e-3;
 
 /// Trains the statistics MLP with minibatches over pooled rows.
 fn train_stats_mlp(pool: &StatsDataset, seed: u64, steps: usize) -> Mlp {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = tp_rng::StdRng::seed_from_u64(seed);
     let mlp = Mlp::new(STATS_FEATURES, &[64, 64, 64], 4, tp_nn::Activation::Relu, &mut rng);
     let mut opt = Adam::new(mlp.parameters(), 1e-3);
     let n = pool.len();
     let batch = 2048.min(n);
-    use rand::Rng;
+    use tp_rng::Rng;
     for step in 0..steps {
         let t = step as f32 / steps.max(2) as f32;
         opt.set_lr(1e-3 * (0.05 + 0.95 * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())));

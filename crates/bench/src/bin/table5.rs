@@ -94,7 +94,7 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
-    let mut sums = vec![(0.0f64, 0usize); 12]; // 6 models × train/test
+    let mut sums = [(0.0f64, 0usize); 12]; // 6 models × train/test
     let mut rt_sums = [(0.0f64, 0.0f64, 0.0f64, 0usize); 2]; // flow/gnn/paper
     for d in dataset.designs() {
         let g: Vec<f64> = gcnii.iter_mut().map(|t| t.evaluate_arrival_r2(d)).collect();

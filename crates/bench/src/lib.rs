@@ -1,5 +1,5 @@
 //! Shared harness for the table/figure regeneration binaries and the
-//! criterion benches.
+//! in-repo micro-benchmarks (see [`micro`]).
 //!
 //! Every experiment binary reads a common [`ExperimentConfig`] from the
 //! environment so the whole evaluation can be scaled up or down without
@@ -16,6 +16,8 @@
 //!
 //! Binaries (one per paper artifact — see `DESIGN.md` §3):
 //! `table1`, `table4`, `table5`, `figure1`, `figure4`.
+
+pub mod micro;
 
 use std::time::Instant;
 

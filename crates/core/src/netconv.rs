@@ -1,7 +1,6 @@
 //! The net embedding stage (paper Sec. 3.3.1, Fig. 2).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tp_rng::StdRng;
 use tp_data::{DesignGraph, NET_EDGE_FEATURES, PIN_FEATURES};
 use tp_nn::{Activation, Mlp, Module};
 use tp_tensor::ops::elementwise::mask_rows;

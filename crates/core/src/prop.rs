@@ -1,7 +1,6 @@
 //! The levelized delay-propagation stage (paper Sec. 3.3.2, Fig. 3).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tp_rng::StdRng;
 use tp_data::{DesignGraph, PIN_FEATURES};
 use tp_nn::{Activation, Mlp, Module};
 use tp_tensor::Tensor;

@@ -30,4 +30,4 @@ mod spec;
 mod synth;
 
 pub use spec::{BenchmarkSpec, Split, BENCHMARKS};
-pub use synth::{generate, generate_suite, GeneratorConfig};
+pub use synth::{generate, generate_suite, split_of, GeneratorConfig};

@@ -3,8 +3,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tp_rng::{Rng, StdRng};
 use tp_graph::{Circuit, CircuitBuilder, PinId};
 use tp_liberty::Library;
 
@@ -87,7 +86,6 @@ pub fn generate(spec: &BenchmarkSpec, library: &Library, config: &GeneratorConfi
     struct CombCell {
         level: usize,
         inputs: Vec<PinId>,
-        output: PinId,
     }
     let mut comb: Vec<CombCell> = Vec::new();
     let mut edge_budget = target_cell_edges as i64;
@@ -109,11 +107,7 @@ pub fn generate(spec: &BenchmarkSpec, library: &Library, config: &GeneratorConfi
         idx += 1;
         edge_budget -= n_inputs as i64;
         level_drivers[l].push(output);
-        comb.push(CombCell {
-            level: l,
-            inputs,
-            output,
-        });
+        comb.push(CombCell { level: l, inputs });
     }
 
     // Compact away empty levels so every cell can find an earlier driver.
@@ -126,10 +120,10 @@ pub fn generate(spec: &BenchmarkSpec, library: &Library, config: &GeneratorConfi
         std::collections::BTreeMap::new();
     let mut unused: Vec<Vec<PinId>> = level_drivers.clone(); // drivers not yet consumed
 
-    let mut pick_driver = |rng: &mut StdRng,
-                           unused: &mut Vec<Vec<PinId>>,
-                           level_drivers: &[Vec<PinId>],
-                           max_level: usize|
+    let pick_driver = |rng: &mut StdRng,
+                       unused: &mut Vec<Vec<PinId>>,
+                       level_drivers: &[Vec<PinId>],
+                       max_level: usize|
      -> PinId {
         // Prefer an unused driver from a geometrically recent level so
         // every output eventually gets consumed.

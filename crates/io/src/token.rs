@@ -127,6 +127,7 @@ impl Cursor {
             .unwrap_or(0)
     }
 
+    #[cfg(test)]
     pub fn is_done(&self) -> bool {
         self.pos >= self.tokens.len()
     }

@@ -10,8 +10,7 @@
 //! problem. Early corners scale late delays by ~0.8; fall transitions are
 //! slightly faster than rise, mirroring typical standard-cell asymmetry.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tp_rng::{Rng, StdRng};
 
 use crate::{CellType, Corner, Library, Lut, TimingArc, LUT_AXIS};
 
@@ -121,7 +120,7 @@ impl Library {
                 };
                 let input_caps = (0..p.inputs)
                     .map(|_| {
-                        let base = p.cap * rng.gen_range(0.95..1.05);
+                        let base = p.cap * rng.gen_range(0.95..1.05f32);
                         // early corners see slightly lower cap, fall slightly higher
                         [base * 0.97, base * 0.99, base * 1.01, base * 1.03]
                     })

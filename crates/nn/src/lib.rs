@@ -8,18 +8,17 @@
 //! # Example
 //!
 //! ```
-//! use rand::SeedableRng;
 //! use tp_nn::{Activation, Mlp, Module, optim::Adam};
 //! use tp_tensor::Tensor;
 //!
 //! # fn main() -> Result<(), tp_tensor::TensorError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = tp_rng::StdRng::seed_from_u64(0);
 //! // Learn y = 2x on a handful of points.
 //! let mlp = Mlp::new(1, &[8], 1, Activation::Relu, &mut rng);
 //! let mut adam = Adam::new(mlp.parameters(), 1e-2);
 //! let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[4, 1])?;
 //! let y = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[4, 1])?;
-//! for _ in 0..200 {
+//! for _ in 0..500 {
 //!     let loss = mlp.forward(&x).mse(&y);
 //!     adam.zero_grad();
 //!     loss.backward();

@@ -1,4 +1,4 @@
-use rand::Rng;
+use tp_rng::Rng;
 use tp_tensor::{xavier_uniform, Tensor};
 
 use crate::Module;
@@ -10,11 +10,10 @@ use crate::Module;
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use tp_nn::{Linear, Module};
 /// use tp_tensor::Tensor;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = tp_rng::StdRng::seed_from_u64(3);
 /// let layer = Linear::new(4, 2, &mut rng);
 /// let x = Tensor::zeros(&[5, 4]);
 /// assert_eq!(layer.forward(&x).shape(), &[5, 2]);
@@ -84,11 +83,10 @@ impl std::fmt::Debug for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn forward_shape_and_bias() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tp_rng::StdRng::seed_from_u64(0);
         let l = Linear::new(3, 2, &mut rng);
         // zero input -> output equals bias (zeros)
         let y = l.forward(&Tensor::zeros(&[4, 3]));
@@ -98,7 +96,7 @@ mod tests {
 
     #[test]
     fn gradients_reach_weight_and_bias() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tp_rng::StdRng::seed_from_u64(1);
         let l = Linear::new(2, 2, &mut rng);
         let x = Tensor::ones(&[3, 2]);
         l.forward(&x).sum().backward();
@@ -108,7 +106,7 @@ mod tests {
 
     #[test]
     fn parameter_count() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = tp_rng::StdRng::seed_from_u64(2);
         assert_eq!(Linear::new(7, 5, &mut rng).num_parameters(), 40);
     }
 }

@@ -1,4 +1,4 @@
-use rand::Rng;
+use tp_rng::Rng;
 use tp_tensor::Tensor;
 
 use crate::{Linear, Module};
@@ -36,9 +36,9 @@ impl Activation {
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use tp_nn::{Activation, Mlp, Module};
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+///
+/// let mut rng = tp_rng::StdRng::seed_from_u64(0);
 /// let mlp = Mlp::paper_default(10, 4, &mut rng);
 /// let x = tp_tensor::Tensor::zeros(&[2, 10]);
 /// assert_eq!(mlp.forward(&x).shape(), &[2, 4]);
@@ -120,11 +120,10 @@ impl Module for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn paper_default_shape() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tp_rng::StdRng::seed_from_u64(0);
         let mlp = Mlp::paper_default(27, 8, &mut rng);
         assert_eq!(mlp.layers().len(), 4);
         assert_eq!(mlp.in_features(), 27);
@@ -135,7 +134,7 @@ mod tests {
 
     #[test]
     fn zero_hidden_is_linear() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tp_rng::StdRng::seed_from_u64(0);
         let mlp = Mlp::new(3, &[], 2, Activation::Relu, &mut rng);
         assert_eq!(mlp.layers().len(), 1);
         // Negative outputs possible since output layer has no activation.
@@ -145,7 +144,7 @@ mod tests {
 
     #[test]
     fn activations_all_run() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = tp_rng::StdRng::seed_from_u64(0);
         for act in [
             Activation::Relu,
             Activation::Tanh,

@@ -5,7 +5,7 @@
 //! deep stacks trainable; these are provided for experimenting with deeper
 //! baseline variants.
 
-use rand::Rng;
+use tp_rng::Rng;
 use tp_tensor::Tensor;
 
 use crate::Module;
@@ -89,7 +89,7 @@ impl Dropout {
         }
         let scale = 1.0 / (1.0 - self.p);
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .map(|_| if rng.next_f32() < self.p { 0.0 } else { scale })
             .collect();
         let m = Tensor::from_vec(mask, x.shape()).expect("mask matches input shape");
         x.mul(&m)
@@ -99,7 +99,6 @@ impl Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn layernorm_normalizes_rows() {
@@ -129,7 +128,7 @@ mod tests {
 
     #[test]
     fn dropout_preserves_expectation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tp_rng::StdRng::seed_from_u64(1);
         let d = Dropout::new(0.5);
         let x = Tensor::ones(&[1, 10_000]);
         let y = d.forward(&x, &mut rng);
@@ -139,7 +138,7 @@ mod tests {
 
     #[test]
     fn dropout_zero_probability_is_identity() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = tp_rng::StdRng::seed_from_u64(2);
         let d = Dropout::new(0.0);
         let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
         assert_eq!(d.forward(&x, &mut rng).to_vec(), x.to_vec());

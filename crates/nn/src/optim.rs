@@ -230,7 +230,7 @@ mod tests {
     fn clip_grad_norm_scales() {
         let w = Tensor::from_slice(&[3.0, 4.0]).with_grad();
         w.square().sum().backward(); // grad = [6, 8], norm 10
-        let pre = clip_grad_norm(&[w.clone()], 5.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&w), 5.0);
         assert!((pre - 10.0).abs() < 1e-4);
         let g = w.grad().unwrap();
         let norm: f32 = g.iter().map(|x| x * x).sum::<f32>().sqrt();

@@ -123,11 +123,10 @@ pub fn load_parameters<R: Read>(params: &[Tensor], mut r: R) -> Result<(), Seria
 mod tests {
     use super::*;
     use crate::{Mlp, Module};
-    use rand::SeedableRng;
 
     #[test]
     fn roundtrip_preserves_weights() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = tp_rng::StdRng::seed_from_u64(9);
         let a = Mlp::small(4, 2, &mut rng);
         let b = Mlp::small(4, 2, &mut rng);
         let mut buf = Vec::new();
@@ -146,7 +145,7 @@ mod tests {
 
     #[test]
     fn mismatched_architecture_rejected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = tp_rng::StdRng::seed_from_u64(9);
         let a = Mlp::small(4, 2, &mut rng);
         let b = Mlp::small(5, 2, &mut rng);
         let mut buf = Vec::new();

@@ -8,8 +8,7 @@
 //! about: connected cells are near each other, wirelength correlates with
 //! logical distance, and I/O nets stretch to the periphery.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tp_rng::{Rng, StdRng};
 use tp_graph::{Circuit, PinKind};
 
 use crate::{Die, Placement, Point};

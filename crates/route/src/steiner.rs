@@ -145,7 +145,7 @@ fn refine_with_steiner_points(tree: &mut SteinerTree) {
                         + s.manhattan(tree.nodes[a])
                         + s.manhattan(tree.nodes[b]);
                     let gain = before - after;
-                    if gain > 1e-4 && best.as_ref().map_or(true, |&(_, _, _, g)| gain > g) {
+                    if gain > 1e-4 && best.as_ref().is_none_or(|&(_, _, _, g)| gain > g) {
                         best = Some((a, b, s, gain));
                     }
                 }

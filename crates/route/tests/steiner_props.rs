@@ -1,36 +1,42 @@
-//! Property-based checks on the Steiner router and Elmore model.
+//! Property-based checks on the Steiner router and Elmore model, on the
+//! in-repo `tp_rng::prop` harness (seeded cases, failure-seed reporting).
 
-use proptest::prelude::*;
 use tp_place::Point;
+use tp_rng::{prop, Rng, StdRng};
 use tp_route::{steiner_tree, RcTree};
 
-fn points(n: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec((0.0f32..100.0, 0.0f32..100.0), n)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+const CASES: usize = 64;
+
+fn points(rng: &mut StdRng, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0f32..100.0), rng.gen_range(0.0f32..100.0)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The refined tree is never longer than the star from the driver and
-    /// never shorter than half the longest single connection (a trivial
-    /// lower bound).
-    #[test]
-    fn wirelength_bounds(pts in points(6)) {
+/// The refined tree is never longer than the star from the driver and
+/// never shorter than half the longest single connection (a trivial
+/// lower bound).
+#[test]
+fn wirelength_bounds() {
+    prop::check("wirelength_bounds", CASES, |rng| {
+        let pts = points(rng, 6);
         let tree = steiner_tree(&pts);
         let star: f32 = pts[1..].iter().map(|p| pts[0].manhattan(*p)).sum();
-        prop_assert!(tree.wirelength() <= star + 1e-3);
+        assert!(tree.wirelength() <= star + 1e-3);
         let farthest = pts[1..]
             .iter()
             .map(|p| pts[0].manhattan(*p))
             .fold(0.0f32, f32::max);
-        prop_assert!(tree.wirelength() + 1e-3 >= farthest);
-    }
+        assert!(tree.wirelength() + 1e-3 >= farthest);
+    });
+}
 
-    /// Every node reaches the root; edge lengths are consistent with the
-    /// node coordinates.
-    #[test]
-    fn tree_is_connected_and_consistent(pts in points(8)) {
+/// Every node reaches the root; edge lengths are consistent with the
+/// node coordinates.
+#[test]
+fn tree_is_connected_and_consistent() {
+    prop::check("tree_is_connected_and_consistent", CASES, |rng| {
+        let pts = points(rng, 8);
         let tree = steiner_tree(&pts);
         for v in 0..tree.num_nodes() {
             let mut cur = v;
@@ -38,41 +44,52 @@ proptest! {
             while tree.parent[cur] != usize::MAX {
                 let p = tree.parent[cur];
                 let expect = tree.nodes[cur].manhattan(tree.nodes[p]);
-                prop_assert!((tree.edge_len[cur] - expect).abs() < 1e-3);
+                assert!((tree.edge_len[cur] - expect).abs() < 1e-3);
                 cur = p;
                 hops += 1;
-                prop_assert!(hops <= tree.num_nodes());
+                assert!(hops <= tree.num_nodes());
             }
-            prop_assert_eq!(cur, 0);
+            assert_eq!(cur, 0);
         }
-    }
+    });
+}
 
-    /// Elmore delays are non-negative, zero at the root, and monotone in
-    /// added load: raising any sink's pin cap cannot reduce any delay.
-    #[test]
-    fn elmore_monotone_in_load(pts in points(5), bump in 1usize..5, extra in 0.001f32..0.01) {
+/// Elmore delays are non-negative, zero at the root, and monotone in
+/// added load: raising any sink's pin cap cannot reduce any delay.
+#[test]
+fn elmore_monotone_in_load() {
+    prop::check("elmore_monotone_in_load", CASES, |rng| {
+        let pts = points(rng, 5);
+        let bump: usize = rng.gen_range(1..5);
+        let extra: f32 = rng.gen_range(0.001..0.01);
         let tree = steiner_tree(&pts);
         let n = tree.num_nodes();
         let base_caps = vec![0.002f32; n];
         let base = RcTree::new(&tree, &base_caps, 0.001, 0.0002).elmore_delays();
-        prop_assert!(base[0].abs() < 1e-9);
-        prop_assert!(base.iter().all(|&d| d >= 0.0));
+        assert!(base[0].abs() < 1e-9);
+        assert!(base.iter().all(|&d| d >= 0.0));
 
         let mut heavier = base_caps;
         heavier[bump.min(n - 1)] += extra;
         let bumped = RcTree::new(&tree, &heavier, 0.001, 0.0002).elmore_delays();
         for (b, h) in base.iter().zip(&bumped) {
-            prop_assert!(h + 1e-9 >= *b, "delay decreased: {b} -> {h}");
+            assert!(h + 1e-9 >= *b, "delay decreased: {b} -> {h}");
         }
-    }
+    });
+}
 
-    /// Scaling all coordinates scales wirelength linearly.
-    #[test]
-    fn wirelength_scales_linearly(pts in points(6), k in 1.5f32..4.0) {
+/// Scaling all coordinates scales wirelength linearly.
+#[test]
+fn wirelength_scales_linearly() {
+    prop::check("wirelength_scales_linearly", CASES, |rng| {
+        let pts = points(rng, 6);
+        let k: f32 = rng.gen_range(1.5..4.0);
         let base = steiner_tree(&pts).wirelength();
         let scaled_pts: Vec<Point> = pts.iter().map(|p| Point::new(p.x * k, p.y * k)).collect();
         let scaled = steiner_tree(&scaled_pts).wirelength();
-        prop_assert!((scaled - base * k).abs() < base.max(1.0) * 0.02 * k,
-            "base {base}, k {k}, scaled {scaled}");
-    }
+        assert!(
+            (scaled - base * k).abs() < base.max(1.0) * 0.02 * k,
+            "base {base}, k {k}, scaled {scaled}"
+        );
+    });
 }

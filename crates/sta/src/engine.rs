@@ -202,6 +202,7 @@ impl StaEngine<'_> {
     /// reduction state first and recording the cell-arc delays used. This
     /// is the single-pin kernel shared by the full levelized run and the
     /// incremental engine.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn propagate_pin(
         &self,
         circuit: &Circuit,

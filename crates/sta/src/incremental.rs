@@ -133,10 +133,10 @@ impl<'a> IncrementalSta<'a> {
         // 2. re-route, refresh edge delays, seed the worklist
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
         let mut queued: BTreeSet<PinId> = BTreeSet::new();
-        let mut push = |heap: &mut BinaryHeap<Entry>,
-                        queued: &mut BTreeSet<PinId>,
-                        topo: &Topology,
-                        pin: PinId| {
+        let push = |heap: &mut BinaryHeap<Entry>,
+                    queued: &mut BTreeSet<PinId>,
+                    topo: &Topology,
+                    pin: PinId| {
             if queued.insert(pin) {
                 heap.push(Entry {
                     level: topo.level(pin),

@@ -1,14 +1,17 @@
 //! Property-based invariants of the timing engine over randomly generated
 //! designs: the physical laws any STA must obey regardless of netlist,
-//! placement or constraints.
+//! placement or constraints. Runs on the in-repo `tp_rng::prop` harness
+//! (seeded cases, failure-seed reporting).
 
-use proptest::prelude::*;
 use tp_gen::{generate, GeneratorConfig, BENCHMARKS};
 use tp_graph::Circuit;
 use tp_liberty::{Corner, Library};
 use tp_place::{place_circuit, Placement, PlacementConfig};
+use tp_rng::{prop, Rng, StdRng};
 use tp_sta::incremental::IncrementalSta;
 use tp_sta::{StaConfig, StaEngine, TimingReport};
+
+const CASES: usize = 64;
 
 fn analyzed(bench: usize, seed: u64, clock: f32) -> (Library, Circuit, Placement, TimingReport) {
     let library = Library::synthetic_sky130(1);
@@ -27,61 +30,77 @@ fn analyzed(bench: usize, seed: u64, clock: f32) -> (Library, Circuit, Placement
     (library, circuit, placement, report)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// One random (benchmark, generator-seed) pair per case — the same input
+/// space the proptest suite drew from.
+fn bench_and_seed(rng: &mut StdRng) -> (usize, u64) {
+    (rng.gen_range(0usize..21), rng.gen_range(0u64..1000))
+}
 
-    /// Late arrivals never precede early arrivals, anywhere.
-    #[test]
-    fn early_bounds_late(bench in 0usize..21, seed in 0u64..1000) {
+/// Late arrivals never precede early arrivals, anywhere.
+#[test]
+fn early_bounds_late() {
+    prop::check("early_bounds_late", CASES, |rng| {
+        let (bench, seed) = bench_and_seed(rng);
         let (_, circuit, _, report) = analyzed(bench, seed, 2.0);
         for p in circuit.pin_ids() {
             let a = report.arrival(p);
-            prop_assert!(a[Corner::EarlyRise.index()] <= a[Corner::LateRise.index()] + 1e-5);
-            prop_assert!(a[Corner::EarlyFall.index()] <= a[Corner::LateFall.index()] + 1e-5);
+            assert!(a[Corner::EarlyRise.index()] <= a[Corner::LateRise.index()] + 1e-5);
+            assert!(a[Corner::EarlyFall.index()] <= a[Corner::LateFall.index()] + 1e-5);
             let s = report.slew(p);
             for v in s {
-                prop_assert!(v >= 0.0 && v.is_finite());
+                assert!(v >= 0.0 && v.is_finite());
             }
         }
-    }
+    });
+}
 
-    /// Arrival is monotone along every net edge (wire delays are
-    /// non-negative) and cell-arc delays are strictly positive.
-    #[test]
-    fn delays_non_negative(bench in 0usize..21, seed in 0u64..1000) {
+/// Arrival is monotone along every net edge (wire delays are
+/// non-negative) and cell-arc delays are strictly positive.
+#[test]
+fn delays_non_negative() {
+    prop::check("delays_non_negative", CASES, |rng| {
+        let (bench, seed) = bench_and_seed(rng);
         let (_, circuit, _, report) = analyzed(bench, seed, 2.0);
         for (i, _e) in circuit.net_edges().iter().enumerate() {
             let d = report.net_edge_delay(tp_graph::NetEdgeId::new(i));
             for v in d {
-                prop_assert!(v >= 0.0);
+                assert!(v >= 0.0);
             }
         }
         for i in 0..circuit.num_cell_edges() {
             let d = report.cell_edge_delay(tp_graph::CellEdgeId::new(i));
             for v in d {
-                prop_assert!(v > 0.0);
+                assert!(v > 0.0);
             }
         }
-    }
+    });
+}
 
-    /// WNS is a lower bound of every endpoint's setup slack, and relaxing
-    /// the clock increases slack uniformly.
-    #[test]
-    fn wns_and_clock_monotonicity(bench in 0usize..21, seed in 0u64..1000) {
+/// WNS is a lower bound of every endpoint's setup slack, and relaxing
+/// the clock increases slack uniformly.
+#[test]
+fn wns_and_clock_monotonicity() {
+    prop::check("wns_and_clock_monotonicity", CASES, |rng| {
+        let (bench, seed) = bench_and_seed(rng);
         let (_, circuit, _, tight) = analyzed(bench, seed, 1.0);
         let (_, _, _, relaxed) = analyzed(bench, seed, 4.0);
         for &ep in tight.endpoints() {
-            prop_assert!(tight.setup_slack(ep) >= tight.wns_setup() - 1e-5);
+            assert!(tight.setup_slack(ep) >= tight.wns_setup() - 1e-5);
             // 3 ns more clock -> exactly 3 ns more setup slack
             let delta = relaxed.setup_slack(ep) - tight.setup_slack(ep);
-            prop_assert!((delta - 3.0).abs() < 1e-3, "delta {delta}");
+            assert!((delta - 3.0).abs() < 1e-3, "delta {delta}");
         }
-        prop_assert_eq!(tight.endpoints().len(), circuit.endpoints().len());
-    }
+        assert_eq!(tight.endpoints().len(), circuit.endpoints().len());
+    });
+}
 
-    /// Incremental update after a random cell move matches a full re-run.
-    #[test]
-    fn incremental_equals_full(bench in 0usize..21, seed in 0u64..500, cell_pick in 0usize..64) {
+/// Incremental update after a random cell move matches a full re-run.
+#[test]
+fn incremental_equals_full() {
+    prop::check("incremental_equals_full", CASES, |rng| {
+        let bench = rng.gen_range(0usize..21);
+        let seed = rng.gen_range(0u64..500);
+        let cell_pick: usize = rng.gen_range(0..64);
         let (library, circuit, placement, _) = analyzed(bench, seed, 2.0);
         let config = StaConfig::default();
         let mut inc = IncrementalSta::new(&library, config, &circuit, &placement);
@@ -105,9 +124,14 @@ proptest! {
             let a = inc_report.arrival(p);
             let b = full.arrival(p);
             for k in 0..4 {
-                prop_assert!((a[k] - b[k]).abs() < 1e-4,
-                    "pin {} corner {k}: {} vs {}", p, a[k], b[k]);
+                assert!(
+                    (a[k] - b[k]).abs() < 1e-4,
+                    "pin {} corner {k}: {} vs {}",
+                    p,
+                    a[k],
+                    b[k]
+                );
             }
         }
-    }
+    });
 }

@@ -1,6 +1,6 @@
 //! Weight initialization schemes.
 
-use rand::Rng;
+use tp_rng::Rng;
 
 use crate::Tensor;
 
@@ -10,8 +10,7 @@ use crate::Tensor;
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = tp_rng::StdRng::seed_from_u64(7);
 /// let w = tp_tensor::xavier_uniform(8, 4, &mut rng);
 /// assert_eq!(w.shape(), &[8, 4]);
 /// ```
@@ -30,11 +29,10 @@ pub fn kaiming_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Te
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn xavier_respects_bound() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = tp_rng::StdRng::seed_from_u64(1);
         let w = xavier_uniform(10, 10, &mut rng);
         let a = (6.0 / 20.0_f32).sqrt();
         assert!(w.to_vec().iter().all(|&x| x.abs() <= a));
@@ -42,7 +40,7 @@ mod tests {
 
     #[test]
     fn kaiming_respects_bound() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = tp_rng::StdRng::seed_from_u64(2);
         let w = kaiming_uniform(24, 8, &mut rng);
         let a = (6.0 / 24.0_f32).sqrt();
         assert!(w.to_vec().iter().all(|&x| x.abs() <= a));
@@ -50,8 +48,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
-        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r1 = tp_rng::StdRng::seed_from_u64(42);
+        let mut r2 = tp_rng::StdRng::seed_from_u64(42);
         assert_eq!(
             xavier_uniform(4, 4, &mut r1).to_vec(),
             xavier_uniform(4, 4, &mut r2).to_vec()

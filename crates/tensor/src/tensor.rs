@@ -2,8 +2,7 @@ use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::fmt;
 use std::rc::Rc;
 
-use rand::distributions::Distribution;
-use rand::Rng;
+use tp_rng::Rng;
 
 use crate::{Shape, TensorError};
 
@@ -109,8 +108,7 @@ impl Tensor {
     /// A tensor with elements drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
         let n: usize = shape.iter().product();
-        let dist = rand::distributions::Uniform::new(lo, hi);
-        let data: Vec<f32> = (0..n).map(|_| dist.sample(rng)).collect();
+        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
         Tensor::leaf(data, Shape::new(shape))
     }
 
@@ -367,8 +365,7 @@ mod tests {
 
     #[test]
     fn randn_has_roughly_right_moments() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+            let mut rng = tp_rng::StdRng::seed_from_u64(2024);
         let t = Tensor::randn(&[10_000], 0.0, 1.0, &mut rng);
         let data = t.to_vec();
         let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;

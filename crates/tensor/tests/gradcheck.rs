@@ -1,14 +1,17 @@
-//! Property-based gradient verification against central finite differences.
+//! Property-based gradient verification against central finite differences,
+//! on the in-repo `tp_rng::prop` harness (seeded cases, failure-seed
+//! reporting).
 //!
 //! For every differentiable op we build a scalar loss `L(x) = Σ f(x) ⊙ w`
 //! with random weights `w`, compute analytic gradients via backprop, and
 //! compare against `(L(x+h) - L(x-h)) / 2h` per coordinate.
 
-use proptest::prelude::*;
+use tp_rng::{prop, StdRng};
 use tp_tensor::Tensor;
 
 const H: f32 = 1e-2;
 const TOL: f32 = 2e-2;
+const CASES: usize = 64;
 
 /// Evaluates `loss(x_data)` freshly (no autograd) for finite differences.
 fn numeric_grad(
@@ -29,130 +32,160 @@ fn numeric_grad(
     grads
 }
 
-fn check_op(
-    x_data: Vec<f32>,
-    shape: &[usize],
-    loss: impl Fn(&Tensor) -> Tensor,
-) -> Result<(), TestCaseError> {
+fn check_op(x_data: Vec<f32>, shape: &[usize], loss: impl Fn(&Tensor) -> Tensor) {
     let x = Tensor::from_vec(x_data.clone(), shape).unwrap().with_grad();
     loss(&x).backward();
     let analytic = x.grad().expect("gradient must exist");
     let numeric = numeric_grad(&x_data, shape, &loss);
     for (i, (&a, &n)) in analytic.iter().zip(&numeric).enumerate() {
         let scale = a.abs().max(n.abs()).max(1.0);
-        prop_assert!(
+        assert!(
             (a - n).abs() / scale < TOL,
             "coordinate {i}: analytic {a} vs numeric {n}"
         );
     }
-    Ok(())
 }
 
-fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-2.0f32..2.0, n)
+fn vals(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    prop::vec_f32(rng, n, -2.0, 2.0)
 }
 
 /// Values bounded away from zero, for ops with kinks or singularities there.
-fn vals_nonzero(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(0.3f32..2.0, n)
+fn vals_nonzero(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    prop::vec_f32(rng, n, 0.3, 2.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn grad_tanh() {
+    prop::check("grad_tanh", CASES, |rng| {
+        check_op(vals(rng, 6), &[2, 3], |x| x.tanh().sum());
+    });
+}
 
-    #[test]
-    fn grad_tanh(v in vals(6)) {
-        check_op(v, &[2, 3], |x| x.tanh().sum())?;
-    }
+#[test]
+fn grad_sigmoid() {
+    prop::check("grad_sigmoid", CASES, |rng| {
+        check_op(vals(rng, 6), &[6], |x| x.sigmoid().sum());
+    });
+}
 
-    #[test]
-    fn grad_sigmoid(v in vals(6)) {
-        check_op(v, &[6], |x| x.sigmoid().sum())?;
-    }
+#[test]
+fn grad_softplus() {
+    prop::check("grad_softplus", CASES, |rng| {
+        check_op(vals(rng, 4), &[4], |x| x.softplus().sum());
+    });
+}
 
-    #[test]
-    fn grad_softplus(v in vals(4)) {
-        check_op(v, &[4], |x| x.softplus().sum())?;
-    }
+#[test]
+fn grad_square_mean() {
+    prop::check("grad_square_mean", CASES, |rng| {
+        check_op(vals(rng, 8), &[2, 4], |x| x.square().mean());
+    });
+}
 
-    #[test]
-    fn grad_square_mean(v in vals(8)) {
-        check_op(v, &[2, 4], |x| x.square().mean())?;
-    }
+#[test]
+fn grad_exp() {
+    prop::check("grad_exp", CASES, |rng| {
+        check_op(vals(rng, 4), &[4], |x| x.exp().sum());
+    });
+}
 
-    #[test]
-    fn grad_exp(v in vals(4)) {
-        check_op(v, &[4], |x| x.exp().sum())?;
-    }
+#[test]
+fn grad_ln() {
+    prop::check("grad_ln", CASES, |rng| {
+        check_op(vals_nonzero(rng, 4), &[4], |x| x.ln().sum());
+    });
+}
 
-    #[test]
-    fn grad_ln(v in vals_nonzero(4)) {
-        check_op(v, &[4], |x| x.ln().sum())?;
-    }
+#[test]
+fn grad_sqrt() {
+    prop::check("grad_sqrt", CASES, |rng| {
+        check_op(vals_nonzero(rng, 4), &[4], |x| x.sqrt().sum());
+    });
+}
 
-    #[test]
-    fn grad_sqrt(v in vals_nonzero(4)) {
-        check_op(v, &[4], |x| x.sqrt().sum())?;
-    }
-
-    #[test]
-    fn grad_matmul(v in vals(6)) {
+#[test]
+fn grad_matmul() {
+    prop::check("grad_matmul", CASES, |rng| {
         let w = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, 1.5, -0.75], &[3, 2]).unwrap();
-        check_op(v, &[2, 3], move |x| x.matmul(&w).sum())?;
-    }
+        check_op(vals(rng, 6), &[2, 3], move |x| x.matmul(&w).sum());
+    });
+}
 
-    #[test]
-    fn grad_mul_chain(v in vals(4)) {
-        check_op(v, &[4], |x| x.mul(x).add(x).sum())?;
-    }
+#[test]
+fn grad_mul_chain() {
+    prop::check("grad_mul_chain", CASES, |rng| {
+        check_op(vals(rng, 4), &[4], |x| x.mul(x).add(x).sum());
+    });
+}
 
-    #[test]
-    fn grad_div_by_const(v in vals(4)) {
+#[test]
+fn grad_div_by_const() {
+    prop::check("grad_div_by_const", CASES, |rng| {
         let c = Tensor::from_slice(&[2.0, 4.0, 0.5, 1.0]);
-        check_op(v, &[4], move |x| x.div(&c).sum())?;
-    }
+        check_op(vals(rng, 4), &[4], move |x| x.div(&c).sum());
+    });
+}
 
-    #[test]
-    fn grad_gather(v in vals(6)) {
-        check_op(v, &[3, 2], |x| x.gather_rows(&[2, 0, 0, 1]).square().sum())?;
-    }
+#[test]
+fn grad_gather() {
+    prop::check("grad_gather", CASES, |rng| {
+        check_op(vals(rng, 6), &[3, 2], |x| {
+            x.gather_rows(&[2, 0, 0, 1]).square().sum()
+        });
+    });
+}
 
-    #[test]
-    fn grad_segment_sum(v in vals(8)) {
-        check_op(v, &[4, 2], |x| {
+#[test]
+fn grad_segment_sum() {
+    prop::check("grad_segment_sum", CASES, |rng| {
+        check_op(vals(rng, 8), &[4, 2], |x| {
             x.segment_sum(&[0, 1, 0, 1], 2).square().sum()
-        })?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn grad_concat_and_narrow(v in vals(6)) {
-        check_op(v, &[3, 2], |x| {
+#[test]
+fn grad_concat_and_narrow() {
+    prop::check("grad_concat_and_narrow", CASES, |rng| {
+        check_op(vals(rng, 6), &[3, 2], |x| {
             let left = x.narrow_cols(0, 1);
             let right = x.narrow_cols(1, 1);
             Tensor::concat_cols(&[&right, &left]).square().sum()
-        })?;
-    }
+        });
+    });
+}
 
-    #[test]
-    fn grad_outer_flatten(v in vals(4)) {
+#[test]
+fn grad_outer_flatten() {
+    prop::check("grad_outer_flatten", CASES, |rng| {
         let w = Tensor::from_vec(vec![1.0, -0.5, 0.25, 2.0], &[2, 2]).unwrap();
-        check_op(v, &[2, 2], move |x| x.outer_flatten(&w).sum())?;
-    }
+        check_op(vals(rng, 4), &[2, 2], move |x| x.outer_flatten(&w).sum());
+    });
+}
 
-    #[test]
-    fn grad_sum_axes(v in vals(6)) {
-        check_op(v.clone(), &[2, 3], |x| x.sum_axis1().square().sum())?;
-        check_op(v, &[2, 3], |x| x.sum_axis0().square().sum())?;
-    }
+#[test]
+fn grad_sum_axes() {
+    prop::check("grad_sum_axes", CASES, |rng| {
+        let v = vals(rng, 6);
+        check_op(v.clone(), &[2, 3], |x| x.sum_axis1().square().sum());
+        check_op(v, &[2, 3], |x| x.sum_axis0().square().sum());
+    });
+}
 
-    #[test]
-    fn grad_mse(v in vals(4)) {
+#[test]
+fn grad_mse() {
+    prop::check("grad_mse", CASES, |rng| {
         let t = Tensor::from_slice(&[0.1, -0.2, 0.3, -0.4]);
-        check_op(v, &[4], move |x| x.mse(&t))?;
-    }
+        check_op(vals(rng, 4), &[4], move |x| x.mse(&t));
+    });
+}
 
-    #[test]
-    fn segment_sum_matches_naive(v in vals(12), segs in proptest::collection::vec(0usize..3, 6)) {
+#[test]
+fn segment_sum_matches_naive() {
+    prop::check("segment_sum_matches_naive", CASES, |rng| {
+        let v = vals(rng, 12);
+        let segs = prop::vec_index(rng, 6, 3);
         let x = Tensor::from_vec(v.clone(), &[6, 2]).unwrap();
         let y = x.segment_sum(&segs, 3);
         let mut expect = vec![0.0f32; 6];
@@ -162,12 +195,16 @@ proptest! {
         }
         let got = y.to_vec();
         for (g, e) in got.iter().zip(&expect) {
-            prop_assert!((g - e).abs() < 1e-4);
+            assert!((g - e).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn segment_max_matches_naive(v in vals(12), segs in proptest::collection::vec(0usize..3, 6)) {
+#[test]
+fn segment_max_matches_naive() {
+    prop::check("segment_max_matches_naive", CASES, |rng| {
+        let v = vals(rng, 12);
+        let segs = prop::vec_index(rng, 6, 3);
         let x = Tensor::from_vec(v.clone(), &[6, 2]).unwrap();
         let y = x.segment_max(&segs, 3);
         let mut expect = vec![f32::NEG_INFINITY; 6];
@@ -183,7 +220,7 @@ proptest! {
         }
         let got = y.to_vec();
         for (g, e) in got.iter().zip(&expect) {
-            prop_assert!((g - e).abs() < 1e-4);
+            assert!((g - e).abs() < 1e-4);
         }
-    }
+    });
 }

@@ -76,7 +76,6 @@ fn main() {
         .iter()
         .map(|e| (e, report.setup_slack(*e)))
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite slacks"))
-        .map(|(e, s)| (e, s))
     {
         println!("\nworst endpoint: pin {worst}");
         for c in Corner::ALL {

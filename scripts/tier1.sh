@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every change must pass.
+#
+# Runs fully offline — the workspace has zero external dependencies, so a
+# cold cargo cache and no network must still produce a green build. Any
+# `cargo` invocation here reaching for a registry is itself a regression.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: release build (all targets, offline) =="
+cargo build --workspace --release --offline --all-targets
+
+echo "== tier1: tests (offline) =="
+cargo test -q --workspace --offline
+
+echo "== tier1: clippy (warnings are errors) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "== tier1: hermeticity (no external crates in any manifest) =="
+if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml; then
+    echo "tier1: FAIL — external dependency reference found above" >&2
+    exit 1
+fi
+
+echo "tier1: OK"

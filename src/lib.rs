@@ -7,6 +7,7 @@ pub use tp_graph as graph;
 pub use tp_io as io;
 pub use tp_liberty as liberty;
 pub use tp_place as place;
+pub use tp_rng as rng;
 pub use tp_route as route;
 pub use tp_sta as sta;
 pub use tp_tensor as tensor;
