@@ -1,0 +1,151 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Every fault source is seeded through `tp-rng`, so the fault-tolerance
+//! suites are as hermetic and reproducible as the rest of tier-1: the same
+//! `TP_SEED` injects the same NaN at the same step, corrupts the same
+//! checkpoint byte, and poisons the same design feature on every machine.
+//!
+//! Two pieces:
+//!
+//! - [`FaultPlan`] — a declarative schedule of *training* faults ("poison
+//!   the gradients at global step k") consumed by `Trainer::fit_with`;
+//!   injection happens only on a step's first attempt, so the rollback +
+//!   learning-rate-backoff retry path sees the clean gradients a real
+//!   transient fault would leave behind.
+//! - [`FaultInjector`] — a seeded source of *data* faults: checkpoint byte
+//!   corruption/truncation and design-tensor poisoning, built on
+//!   [`tp_rng::prop::mutate_bytes`].
+
+use std::collections::BTreeSet;
+
+use tp_data::DesignGraph;
+use tp_rng::{Rng, StdRng};
+
+/// A declarative schedule of training-step faults.
+///
+/// Steps are indexed by the trainer's global step counter (which survives
+/// checkpoint/resume), so a plan means the same thing in a resumed run as
+/// in an uninterrupted one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    nan_grad_steps: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Injects NaN gradients at each listed global step.
+    pub fn nan_grad_at(steps: impl IntoIterator<Item = u64>) -> FaultPlan {
+        FaultPlan {
+            nan_grad_steps: steps.into_iter().collect(),
+        }
+    }
+
+    /// Whether the gradients of global step `step` should be poisoned.
+    pub fn injects_nan_grad(&self, step: u64) -> bool {
+        self.nan_grad_steps.contains(&step)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.nan_grad_steps.is_empty()
+    }
+}
+
+/// A seeded source of data faults (checkpoint bytes, design tensors).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Builds an injector whose entire fault stream is a function of
+    /// `seed`.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Flips one random bit of the byte at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn corrupt_at(&mut self, bytes: &mut [u8], offset: usize) {
+        bytes[offset] ^= 1 << self.rng.gen_range(0u32..8);
+    }
+
+    /// Applies `mutations` random byte-level mutations (flip, overwrite,
+    /// insert, delete, duplicate, truncate) to `bytes`.
+    pub fn corrupt_bytes(&mut self, bytes: &mut Vec<u8>, mutations: usize) {
+        tp_rng::prop::mutate_bytes(&mut self.rng, bytes, mutations);
+    }
+
+    /// Truncates `bytes` to a random strict prefix and returns the new
+    /// length. Models a torn write.
+    pub fn truncate(&mut self, bytes: &mut Vec<u8>) -> usize {
+        let keep = if bytes.is_empty() {
+            0
+        } else {
+            self.rng.gen_range(0..bytes.len())
+        };
+        bytes.truncate(keep);
+        keep
+    }
+
+    /// Poisons one random pin-feature entry of `design` with NaN — the
+    /// in-memory corruption `DesignGraph::validate` must catch before the
+    /// trainer touches the design. Returns the flattened index poisoned.
+    pub fn poison_design(&mut self, design: &mut DesignGraph) -> usize {
+        let n = design.pin_features.numel();
+        let at = self.rng.gen_range(0..n.max(1));
+        if n > 0 {
+            design.pin_features.data_mut()[at] = f32::NAN;
+        }
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_precise() {
+        let plan = FaultPlan::nan_grad_at([3, 7]);
+        assert!(plan.injects_nan_grad(3));
+        assert!(plan.injects_nan_grad(7));
+        assert!(!plan.injects_nan_grad(4));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            let mut bytes: Vec<u8> = (0u8..32).collect();
+            inj.corrupt_bytes(&mut bytes, 4);
+            let mut tail: Vec<u8> = (0u8..32).collect();
+            inj.truncate(&mut tail);
+            (bytes, tail)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn truncate_always_shortens() {
+        let mut inj = FaultInjector::new(0);
+        for _ in 0..50 {
+            let mut bytes = vec![0u8; 16];
+            let keep = inj.truncate(&mut bytes);
+            assert!(keep < 16);
+            assert_eq!(bytes.len(), keep);
+        }
+    }
+}

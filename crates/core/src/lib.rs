@@ -41,6 +41,8 @@
 //! println!("final epoch loss: {}", history.last().unwrap().total);
 //! ```
 
+pub mod checkpoint;
+pub mod faultinject;
 mod loss;
 mod lutmod;
 mod model;
@@ -49,10 +51,15 @@ mod plan;
 mod prop;
 mod train;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use faultinject::{FaultInjector, FaultPlan};
 pub use loss::{combined_loss, AuxMode, LossParts};
 pub use lutmod::LutModule;
 pub use model::{Ablation, ModelConfig, Prediction, TimingGnn};
 pub use netconv::{NetConv, NetEmbed};
 pub use plan::{EdgeGroup, LevelPlan, PropPlan};
 pub use prop::Propagation;
-pub use train::{EpochStats, TrainConfig, Trainer};
+pub use train::{
+    CheckpointPolicy, DivergenceEvent, EpochStats, EvalReport, FitOptions, GuardPolicy,
+    TrainConfig, TrainReport, Trainer,
+};

@@ -1,12 +1,30 @@
-//! Multi-design training loop.
+//! Multi-design training loop with fault tolerance.
+//!
+//! Beyond the plain epoch loop, [`Trainer::fit_with`] layers three
+//! production protections (DESIGN.md §Fault tolerance):
+//!
+//! - **checkpoint/resume** — periodic atomic [`Checkpoint`]s carrying
+//!   model weights, Adam moments, epoch/step cursors and the RNG stream;
+//!   [`Trainer::resume_from_dir`] restores the newest valid one and the
+//!   resumed run is bit-identical to an uninterrupted run;
+//! - **divergence guards** — a non-finite loss or gradient norm never
+//!   commits: the step rolls back to the pre-step snapshot, the learning
+//!   rate backs off, and the retry is recorded in the [`TrainReport`];
+//! - **graceful degradation** — designs failing `DesignGraph::validate`
+//!   are skipped and reported instead of poisoning the epoch.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use tp_data::{r2_score, Dataset, DesignGraph};
 use tp_nn::optim::{clip_grad_norm, Adam};
 use tp_nn::Module;
+use tp_rng::StdRng;
+use tp_tensor::Tensor;
 
+use crate::checkpoint::{self, Checkpoint, CheckpointError};
+use crate::faultinject::FaultPlan;
 use crate::{combined_loss, AuxMode, LossParts, Prediction, PropPlan, TimingGnn};
 
 /// Training hyper-parameters.
@@ -40,6 +58,64 @@ impl Default for TrainConfig {
     }
 }
 
+/// Divergence-guard policy: how a non-finite step is rolled back and
+/// retried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Maximum rollback + learning-rate-backoff retries per step before
+    /// the design is skipped for the epoch.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied on each rollback.
+    pub lr_backoff: f32,
+    /// Floor the backoff cannot cross.
+    pub min_lr: f32,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            max_retries: 3,
+            lr_backoff: 0.5,
+            min_lr: 1e-7,
+        }
+    }
+}
+
+/// Periodic-checkpoint policy for [`Trainer::fit_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Directory the `ckpt-NNNNNN.tpck` files go to (created on demand).
+    pub dir: PathBuf,
+    /// Write a checkpoint every this many epochs (the final epoch is
+    /// always checkpointed; 0 behaves like 1).
+    pub every_epochs: usize,
+    /// Retain only the newest `keep` checkpoint files (0 = keep all).
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints every epoch into `dir`, keeping everything.
+    pub fn every_epoch(dir: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every_epochs: 1,
+            keep: 0,
+        }
+    }
+}
+
+/// Everything [`Trainer::fit_with`] can be asked to do beyond plain
+/// training.
+#[derive(Debug, Clone, Default)]
+pub struct FitOptions {
+    /// Divergence-guard policy.
+    pub guard: GuardPolicy,
+    /// Periodic checkpointing (off when `None`).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault schedule (tests only; empty in production).
+    pub faults: FaultPlan,
+}
+
 /// Per-epoch aggregate statistics (averaged over training designs).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EpochStats {
@@ -55,6 +131,76 @@ pub struct EpochStats {
     pub total: f32,
     /// Wall-clock seconds for the epoch.
     pub seconds: f64,
+    /// Designs skipped this epoch (failed validation or unrecovered
+    /// divergence).
+    pub skipped: usize,
+    /// Rollback + learning-rate-backoff events this epoch.
+    pub rollbacks: usize,
+}
+
+/// One divergence-guard activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceEvent {
+    /// Epoch the event occurred in.
+    pub epoch: usize,
+    /// Global step counter value of the affected step.
+    pub step: u64,
+    /// Design being trained when the divergence hit.
+    pub design: String,
+    /// Retry attempt number (1-based) this event records.
+    pub attempt: u32,
+    /// Learning rate before the backoff.
+    pub lr_before: f32,
+    /// Learning rate after the backoff (equal to `lr_before` when the
+    /// retry budget was exhausted and the design was skipped).
+    pub lr_after: f32,
+    /// Whether a later attempt of this step committed successfully.
+    pub recovered: bool,
+}
+
+/// Full account of one [`Trainer::fit_with`] run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Per-epoch statistics (same data `fit` returns).
+    pub epochs: Vec<EpochStats>,
+    /// Names of designs excluded by validation, deduplicated.
+    pub invalid_designs: Vec<String>,
+    /// Every divergence-guard activation, in order.
+    pub divergences: Vec<DivergenceEvent>,
+    /// Epoch the run resumed from (0 for a fresh run).
+    pub resumed_from_epoch: usize,
+    /// Human-readable descriptions of checkpoint writes that failed (the
+    /// run continues; losing a checkpoint must not kill training).
+    pub checkpoint_failures: Vec<String>,
+}
+
+/// Evaluation over a dataset split with per-design skip reporting.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// `(design name, arrival R²)` for every design that validated.
+    pub scores: Vec<(String, f64)>,
+    /// Designs skipped because validation failed.
+    pub skipped: Vec<String>,
+}
+
+impl EvalReport {
+    /// Mean R² over the scored designs (NaN when everything was skipped).
+    pub fn mean_r2(&self) -> f64 {
+        let n = self.scores.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.scores.iter().map(|(_, r)| r).sum::<f64>() / n as f64
+    }
+}
+
+/// Outcome of one guarded optimization step.
+struct StepOutcome {
+    /// Loss decomposition of the committed attempt; `None` when the retry
+    /// budget was exhausted and nothing was committed.
+    parts: Option<LossParts>,
+    /// Number of rollback + backoff events the step consumed.
+    rollbacks: u32,
 }
 
 /// Trains a [`TimingGnn`] on a dataset's training split and evaluates it.
@@ -62,18 +208,30 @@ pub struct Trainer {
     model: TimingGnn,
     config: TrainConfig,
     optimizer: Adam,
+    params: Vec<Tensor>,
     plans: HashMap<String, PropPlan>,
+    rng: StdRng,
+    step_count: u64,
+    start_epoch: usize,
 }
 
 impl Trainer {
-    /// Wraps a model with an optimizer.
+    /// Wraps a model with an optimizer. The trainer's RNG stream is seeded
+    /// from `TP_SEED` (falling back to the model seed), and is carried
+    /// through checkpoints so resumed runs continue it exactly.
     pub fn new(model: TimingGnn, config: TrainConfig) -> Trainer {
-        let optimizer = Adam::new(model.parameters(), config.lr);
+        let params = model.parameters();
+        let optimizer = Adam::new(params.clone(), config.lr);
+        let rng = StdRng::from_env(model.config().seed);
         Trainer {
             model,
             config,
             optimizer,
+            params,
             plans: HashMap::new(),
+            rng,
+            step_count: 0,
+            start_epoch: 0,
         }
     }
 
@@ -87,6 +245,17 @@ impl Trainer {
         &self.config
     }
 
+    /// Global step counter (successful or not, each design-step consumes
+    /// one index; survives checkpoint/resume).
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// The epoch `fit_with` will start from (non-zero after a resume).
+    pub fn start_epoch(&self) -> usize {
+        self.start_epoch
+    }
+
     fn plan_for(&mut self, design: &DesignGraph) -> PropPlan {
         self.plans
             .entry(design.name.clone())
@@ -94,25 +263,152 @@ impl Trainer {
             .clone()
     }
 
-    /// Runs one optimization step on a single design and returns the loss
-    /// decomposition.
+    /// Runs one *unguarded* optimization step on a single design and
+    /// returns the loss decomposition. Prefer [`Trainer::fit_with`], which
+    /// wraps steps in the divergence guard.
     pub fn step(&mut self, design: &DesignGraph) -> LossParts {
         let plan = self.plan_for(design);
         let pred = self.model.forward(design, &plan);
         let (loss, parts) = combined_loss(design, &plan, &pred, self.config.aux);
         self.optimizer.zero_grad();
         loss.backward();
-        clip_grad_norm(&self.model.parameters(), self.config.grad_clip);
+        clip_grad_norm(&self.params, self.config.grad_clip);
         self.optimizer.step();
         parts
     }
 
+    /// Clones all parameter data (the rollback snapshot).
+    fn snapshot_params(&self) -> Vec<Vec<f32>> {
+        self.params.iter().map(|p| p.to_vec()).collect()
+    }
+
+    fn restore_params(&mut self, snapshot: &[Vec<f32>]) {
+        for (p, s) in self.params.iter().zip(snapshot) {
+            p.data_mut().copy_from_slice(s);
+        }
+    }
+
+    fn params_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|p| p.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// One guarded step: a non-finite loss, gradient norm, or post-update
+    /// parameter never survives. The bad update is rolled back (or never
+    /// committed), the learning rate backs off by `guard.lr_backoff`, and
+    /// the step retries up to `guard.max_retries` times.
+    fn guarded_step(
+        &mut self,
+        design: &DesignGraph,
+        epoch: usize,
+        guard: &GuardPolicy,
+        faults: &FaultPlan,
+        events: &mut Vec<DivergenceEvent>,
+    ) -> StepOutcome {
+        let plan = self.plan_for(design);
+        let step_id = self.step_count;
+        self.step_count += 1;
+        let first_event = events.len();
+        let mut rollbacks = 0u32;
+        loop {
+            let pred = self.model.forward(design, &plan);
+            let (loss, parts) = combined_loss(design, &plan, &pred, self.config.aux);
+            self.optimizer.zero_grad();
+            loss.backward();
+            // Transient faults hit a step once; the post-rollback retry
+            // recomputes clean gradients, as after a real bit flip.
+            if rollbacks == 0 && faults.injects_nan_grad(step_id) {
+                let p0 = &self.params[0];
+                p0.replace_grad(vec![f32::NAN; p0.numel()]);
+            }
+            let norm = clip_grad_norm(&self.params, self.config.grad_clip);
+            if parts.total.is_finite() && norm.is_finite() {
+                let snapshot = self.snapshot_params();
+                let opt_state = self.optimizer.export_state();
+                self.optimizer.step();
+                if self.params_finite() {
+                    for e in &mut events[first_event..] {
+                        e.recovered = true;
+                    }
+                    return StepOutcome {
+                        parts: Some(parts),
+                        rollbacks,
+                    };
+                }
+                // The update itself overflowed: roll back to the last good
+                // parameter snapshot before backing off.
+                self.restore_params(&snapshot);
+                self.optimizer
+                    .import_state(opt_state)
+                    .expect("own snapshot always fits");
+            }
+            self.optimizer.zero_grad();
+            let lr_before = self.optimizer.lr();
+            if rollbacks >= guard.max_retries {
+                events.push(DivergenceEvent {
+                    epoch,
+                    step: step_id,
+                    design: design.name.clone(),
+                    attempt: rollbacks + 1,
+                    lr_before,
+                    lr_after: lr_before,
+                    recovered: false,
+                });
+                return StepOutcome {
+                    parts: None,
+                    rollbacks,
+                };
+            }
+            let lr_after = (lr_before * guard.lr_backoff).max(guard.min_lr);
+            self.optimizer.set_lr(lr_after);
+            rollbacks += 1;
+            events.push(DivergenceEvent {
+                epoch,
+                step: step_id,
+                design: design.name.clone(),
+                attempt: rollbacks,
+                lr_before,
+                lr_after,
+                recovered: false,
+            });
+        }
+    }
+
     /// Trains for the configured number of epochs over the dataset's
     /// training split; returns per-epoch statistics.
+    ///
+    /// Equivalent to [`fit_with`](Self::fit_with) under default options
+    /// (guards on, no checkpointing, no faults).
     pub fn fit(&mut self, dataset: &Dataset) -> Vec<EpochStats> {
-        let mut history = Vec::with_capacity(self.config.epochs);
+        self.fit_with(dataset, &FitOptions::default()).epochs
+    }
+
+    /// Fault-tolerant training: validates designs up front, guards every
+    /// step against divergence, and (optionally) checkpoints periodically.
+    pub fn fit_with(&mut self, dataset: &Dataset, options: &FitOptions) -> TrainReport {
+        let mut report = TrainReport {
+            resumed_from_epoch: self.start_epoch,
+            ..TrainReport::default()
+        };
+        // Validate once per fit: a bad design is excluded from every epoch
+        // and reported, never trained on.
+        let mut train: Vec<&DesignGraph> = Vec::new();
+        for design in dataset.train() {
+            match design.validate() {
+                Ok(()) => train.push(design),
+                Err(e) => {
+                    report.invalid_designs.push(design.name.clone());
+                    if self.config.log_every > 0 {
+                        eprintln!("skipping design '{}': {e}", design.name);
+                    }
+                }
+            }
+        }
+
         let base_lr = self.config.lr;
-        for epoch in 0..self.config.epochs {
+        let first_epoch = self.start_epoch.min(self.config.epochs);
+        for epoch in first_epoch..self.config.epochs {
             // Cosine learning-rate decay toward `lr_floor · lr`.
             if self.config.lr_floor < 1.0 && self.config.epochs > 1 {
                 let t = epoch as f32 / (self.config.epochs - 1) as f32;
@@ -123,17 +419,24 @@ impl Trainer {
             let t0 = Instant::now();
             let mut agg = EpochStats {
                 epoch,
+                skipped: report.invalid_designs.len(),
                 ..EpochStats::default()
             };
             let mut count = 0;
-            let train: Vec<&DesignGraph> = dataset.train().collect();
-            for design in train {
-                let parts = self.step(design);
-                agg.atslew += parts.atslew;
-                agg.celld += parts.celld;
-                agg.netd += parts.netd;
-                agg.total += parts.total;
-                count += 1;
+            for design in &train {
+                let outcome =
+                    self.guarded_step(design, epoch, &options.guard, &options.faults, &mut report.divergences);
+                agg.rollbacks += outcome.rollbacks as usize;
+                match outcome.parts {
+                    Some(parts) => {
+                        agg.atslew += parts.atslew;
+                        agg.celld += parts.celld;
+                        agg.netd += parts.netd;
+                        agg.total += parts.total;
+                        count += 1;
+                    }
+                    None => agg.skipped += 1,
+                }
             }
             let k = count.max(1) as f32;
             agg.atslew /= k;
@@ -147,9 +450,125 @@ impl Trainer {
                     epoch, agg.total, agg.atslew, agg.celld, agg.netd, agg.seconds
                 );
             }
-            history.push(agg);
+            report.epochs.push(agg);
+
+            if let Some(policy) = &options.checkpoint {
+                let done = epoch + 1;
+                let every = policy.every_epochs.max(1);
+                if done % every == 0 || done == self.config.epochs {
+                    if let Err(e) = self.write_checkpoint(policy, done as u64) {
+                        report
+                            .checkpoint_failures
+                            .push(format!("epoch {done}: {e}"));
+                    }
+                }
+            }
         }
-        history
+        // A later fit on the same trainer starts fresh unless another
+        // resume repositions it.
+        self.start_epoch = 0;
+        report
+    }
+
+    fn write_checkpoint(&self, policy: &CheckpointPolicy, epoch: u64) -> Result<(), CheckpointError> {
+        std::fs::create_dir_all(&policy.dir)?;
+        let ck = self.checkpoint(epoch);
+        ck.write_atomic(&checkpoint::checkpoint_path(&policy.dir, epoch))?;
+        if policy.keep > 0 {
+            let files = checkpoint::list_checkpoints(&policy.dir);
+            if files.len() > policy.keep {
+                for old in &files[..files.len() - policy.keep] {
+                    let _ = std::fs::remove_file(old);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots the complete trainer state as a [`Checkpoint`] claiming
+    /// `epochs_done` finished epochs.
+    pub fn checkpoint(&self, epochs_done: u64) -> Checkpoint {
+        let mut model = Vec::new();
+        tp_nn::save_parameters(&self.params, &mut model)
+            .expect("writing weights to a Vec cannot fail");
+        Checkpoint {
+            epoch: epochs_done,
+            step: self.step_count,
+            lr: self.optimizer.lr(),
+            rng_state: self.rng.state(),
+            model,
+            optimizer: self.optimizer.export_state(),
+        }
+    }
+
+    /// Writes the current state to `path` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_checkpoint(&self, path: &Path, epochs_done: u64) -> Result<(), CheckpointError> {
+        self.checkpoint(epochs_done).write_atomic(path)
+    }
+
+    /// Restores the trainer from a decoded checkpoint: model weights,
+    /// optimizer moments, learning rate, RNG stream and epoch/step
+    /// cursors. Nothing is committed if the checkpoint does not fit this
+    /// trainer's architecture.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Model`] / [`CheckpointError::Optimizer`] on
+    /// architecture mismatch.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        // Validate the optimizer state *before* load_parameters commits
+        // the weights, so a mismatched checkpoint leaves the trainer
+        // whole rather than half-restored.
+        if ck.optimizer.m.len() != self.params.len() || ck.optimizer.v.len() != self.params.len() {
+            return Err(CheckpointError::Optimizer(
+                tp_nn::optim::OptimStateMismatch {
+                    stored: ck.optimizer.m.len().min(ck.optimizer.v.len()),
+                    expected: self.params.len(),
+                },
+            ));
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            if ck.optimizer.m[i].len() != p.numel() || ck.optimizer.v[i].len() != p.numel() {
+                return Err(CheckpointError::Optimizer(
+                    tp_nn::optim::OptimStateMismatch {
+                        stored: ck.optimizer.m[i].len().min(ck.optimizer.v[i].len()),
+                        expected: p.numel(),
+                    },
+                ));
+            }
+        }
+        tp_nn::load_parameters(&self.params, ck.model.as_slice()).map_err(CheckpointError::Model)?;
+        self.optimizer
+            .import_state(ck.optimizer.clone())
+            .map_err(CheckpointError::Optimizer)?;
+        self.optimizer.set_lr(ck.lr);
+        self.rng = StdRng::from_state(ck.rng_state);
+        self.start_epoch = ck.epoch as usize;
+        self.step_count = ck.step;
+        Ok(())
+    }
+
+    /// Restores from the newest valid checkpoint in `dir`, skipping
+    /// truncated or corrupted files. Returns the epoch training will
+    /// continue from, or `None` when no valid checkpoint exists (fresh
+    /// start).
+    ///
+    /// # Errors
+    ///
+    /// Architecture mismatches from [`Trainer::restore`]; unreadable or
+    /// corrupt files are silently skipped, not errors.
+    pub fn resume_from_dir(&mut self, dir: &Path) -> Result<Option<usize>, CheckpointError> {
+        match checkpoint::latest_valid(dir) {
+            Some((_, ck)) => {
+                self.restore(&ck)?;
+                Ok(Some(self.start_epoch))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Forward pass without optimization (prediction).
@@ -177,6 +596,24 @@ impl Trainer {
         )
     }
 
+    /// Arrival R² over a whole split (test designs), skipping — and
+    /// reporting — designs that fail validation instead of panicking on
+    /// one malformed netlist mid-batch.
+    pub fn evaluate_arrival_r2_suite(&mut self, dataset: &Dataset) -> EvalReport {
+        let mut report = EvalReport::default();
+        let designs: Vec<DesignGraph> = dataset.test().cloned().collect();
+        for design in &designs {
+            match design.validate() {
+                Ok(()) => {
+                    let r2 = self.evaluate_arrival_r2(design);
+                    report.scores.push((design.name.clone(), r2));
+                }
+                Err(_) => report.skipped.push(design.name.clone()),
+            }
+        }
+        report
+    }
+
     /// R² of net-delay prediction at net sinks on one design (the Table-4
     /// score for the GNN column).
     pub fn evaluate_net_delay_r2(&mut self, design: &DesignGraph) -> f64 {
@@ -200,8 +637,9 @@ impl Trainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultinject::FaultInjector;
     use crate::ModelConfig;
-    use tp_data::{DatasetConfig, Dataset};
+    use tp_data::{Dataset, DatasetConfig};
     use tp_gen::GeneratorConfig;
     use tp_liberty::Library;
 
@@ -267,5 +705,102 @@ mod tests {
         let mut t = tiny_trainer(AuxMode::None);
         let (_, secs) = t.timed_predict(ds.designs().first().unwrap());
         assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn injected_nan_rolls_back_and_recovers() {
+        let ds = tiny_dataset();
+        let mut t = tiny_trainer(AuxMode::Full);
+        let options = FitOptions {
+            faults: FaultPlan::nan_grad_at([1]),
+            ..FitOptions::default()
+        };
+        let report = t.fit_with(&ds, &options);
+        assert_eq!(report.epochs.len(), 8);
+        // Exactly one step diverged; it rolled back once and recovered.
+        assert!(!report.divergences.is_empty());
+        assert!(report.divergences.iter().all(|d| d.recovered));
+        assert_eq!(report.epochs[0].rollbacks, 1);
+        assert_eq!(report.epochs[0].skipped, 0);
+        assert!(t.params_finite(), "no NaN may survive the guard");
+        let first = report.epochs.first().unwrap().total;
+        let last = report.epochs.last().unwrap().total;
+        assert!(last < first, "training still converges: {first} -> {last}");
+    }
+
+    #[test]
+    fn poisoned_design_is_skipped_and_reported() {
+        let ds = tiny_dataset();
+        let mut designs = ds.designs().to_vec();
+        let victim = designs
+            .iter()
+            .position(|d| d.is_train)
+            .expect("suite has a training design");
+        let name = designs[victim].name.clone();
+        FaultInjector::new(7).poison_design(&mut designs[victim]);
+        let ds = Dataset::from_designs(designs);
+        let mut t = tiny_trainer(AuxMode::Full);
+        let report = t.fit_with(&ds, &FitOptions::default());
+        assert_eq!(report.invalid_designs, vec![name]);
+        assert!(report.epochs.iter().all(|e| e.skipped == 1));
+        assert!(t.params_finite());
+        let first = report.epochs.first().unwrap().total;
+        let last = report.epochs.last().unwrap().total;
+        assert!(last < first, "remaining designs still train");
+    }
+
+    #[test]
+    fn evaluate_suite_skips_invalid_designs() {
+        let ds = tiny_dataset();
+        let mut designs = ds.designs().to_vec();
+        let victim = designs
+            .iter()
+            .position(|d| !d.is_train)
+            .expect("suite has a test design");
+        let name = designs[victim].name.clone();
+        FaultInjector::new(8).poison_design(&mut designs[victim]);
+        let total_test = designs.iter().filter(|d| !d.is_train).count();
+        let ds = Dataset::from_designs(designs);
+        let mut t = tiny_trainer(AuxMode::None);
+        let report = t.evaluate_arrival_r2_suite(&ds);
+        assert_eq!(report.skipped, vec![name]);
+        assert_eq!(report.scores.len(), total_test - 1);
+        assert!(report.mean_r2().is_finite());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_trainer() {
+        let ds = tiny_dataset();
+        let mut a = tiny_trainer(AuxMode::Full);
+        a.fit(&ds);
+        let ck = a.checkpoint(8);
+        let mut b = tiny_trainer(AuxMode::Full);
+        b.restore(&ck).unwrap();
+        assert_eq!(b.step_count(), a.step_count());
+        assert_eq!(b.start_epoch(), 8);
+        let design = ds.designs().first().unwrap();
+        let pa = a.predict(design);
+        let pb = b.predict(design);
+        assert_eq!(pa.arrival.to_vec(), pb.arrival.to_vec());
+    }
+
+    #[test]
+    fn restore_rejects_architecture_mismatch() {
+        let ds = tiny_dataset();
+        let mut a = tiny_trainer(AuxMode::Full);
+        a.fit(&ds);
+        let ck = a.checkpoint(8);
+        let other = TimingGnn::new(&ModelConfig {
+            embed_dim: 6,
+            prop_dim: 6,
+            hidden: vec![8],
+            seed: 2,
+            ablation: Default::default(),
+        });
+        let mut b = Trainer::new(other, *a.config());
+        let before: Vec<Vec<f32>> = b.params.iter().map(|p| p.to_vec()).collect();
+        assert!(b.restore(&ck).is_err());
+        let after: Vec<Vec<f32>> = b.params.iter().map(|p| p.to_vec()).collect();
+        assert_eq!(before, after, "failed restore must not half-write");
     }
 }

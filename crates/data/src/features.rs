@@ -1,6 +1,6 @@
 //! Lowering one analyzed design into model tensors.
 
-use tp_graph::{Circuit, PinKind};
+use tp_graph::{Circuit, GraphError, PinId, PinKind};
 use tp_liberty::{Corner, Library};
 use tp_place::Placement;
 use tp_sta::flow::FlowResult;
@@ -25,6 +25,12 @@ const SLEW_IDX_SCALE: f32 = 10.0;
 const LOAD_IDX_SCALE: f32 = 100.0;
 /// LUT value scale (ns → feature units).
 const LUT_VAL_SCALE: f32 = 10.0;
+
+/// Maximum supported depth of the levelized topology. Deeper graphs are
+/// rejected at lowering time ([`GraphError::LevelOverflow`]) — far above
+/// any real design, this bound exists so corrupted inputs fail loudly
+/// instead of hanging the propagation engine.
+pub const MAX_LEVELS: usize = 1 << 20;
 
 /// Unit scale of the net-delay labels: stored in units of 10 ps (ns × 100)
 /// so that Elmore wire delays — orders of magnitude smaller than cell
@@ -113,8 +119,11 @@ impl DesignGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `flow` was not produced from `circuit`/`placement` or the
-    /// library does not cover the circuit's cell types.
+    /// Panics if `flow` was not produced from `circuit`/`placement`, the
+    /// library does not cover the circuit's cell types, or the inputs fail
+    /// the [`try_from_flow`](Self::try_from_flow) validation. Pipelines
+    /// that must degrade gracefully on bad designs call `try_from_flow`
+    /// instead.
     pub fn from_flow(
         name: impl Into<String>,
         is_train: bool,
@@ -124,6 +133,36 @@ impl DesignGraph {
         flow: &FlowResult,
         sta: &StaConfig,
     ) -> DesignGraph {
+        let name = name.into();
+        match Self::try_from_flow(name.clone(), is_train, circuit, placement, library, flow, sta) {
+            Ok(g) => g,
+            Err(e) => panic!("design '{name}' failed validation: {e}"),
+        }
+    }
+
+    /// Fallible lowering: validates placement coordinates, NLDM table
+    /// entries, endpoint presence and topology depth while building, and
+    /// rejects bad designs with a precise [`GraphError`] instead of letting
+    /// NaN/inf propagate into training losses.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::NonFiniteCoordinate`] — a pin placement is NaN/inf;
+    /// - [`GraphError::NonFiniteLut`] — a timing arc's table carries a
+    ///   NaN/inf index or value;
+    /// - [`GraphError::EmptyEndpoints`] — the design has no timing
+    ///   endpoints to predict slack for;
+    /// - [`GraphError::LevelOverflow`] — topology deeper than
+    ///   [`MAX_LEVELS`].
+    pub fn try_from_flow(
+        name: impl Into<String>,
+        is_train: bool,
+        circuit: &Circuit,
+        placement: &Placement,
+        library: &Library,
+        flow: &FlowResult,
+        sta: &StaConfig,
+    ) -> Result<DesignGraph, GraphError> {
         let n = circuit.num_pins();
         let report = &flow.report;
         let topo = circuit.topology();
@@ -138,6 +177,12 @@ impl DesignGraph {
             .iter()
             .map(|l| l.iter().map(|p| p.index()).collect())
             .collect();
+        if levels.len() > MAX_LEVELS {
+            return Err(GraphError::LevelOverflow {
+                levels: levels.len(),
+                max: MAX_LEVELS,
+            });
+        }
 
         // ---- pin features (Table 2) ----
         let die = placement.die();
@@ -149,6 +194,9 @@ impl DesignGraph {
             let i = pid.index();
             let pd = circuit.pin(pid);
             let loc = placement.location(pid);
+            if !loc.x.is_finite() || !loc.y.is_finite() {
+                return Err(GraphError::NonFiniteCoordinate(pid));
+            }
             let row = &mut pf[i * PIN_FEATURES..(i + 1) * PIN_FEATURES];
             row[0] = if pd.cell.is_none() { 1.0 } else { 0.0 };
             row[1] = if pd.kind.is_driver() { 1.0 } else { 0.0 };
@@ -167,6 +215,9 @@ impl DesignGraph {
             if pd.kind.is_sink() {
                 sink_mask[i] = 1.0;
             }
+        }
+        if endpoints.is_empty() {
+            return Err(GraphError::EmptyEndpoints);
         }
         let pin_features = Tensor::from_vec(pf, &[n, PIN_FEATURES]).expect("row count consistent");
 
@@ -190,6 +241,14 @@ impl DesignGraph {
             let ct = library.cell(cd.type_id);
             let arc = &ct.arcs[e.input_index as usize];
             let row = &mut cef[k * CELL_EDGE_FEATURES..(k + 1) * CELL_EDGE_FEATURES];
+            for lut in arc.luts() {
+                let finite = lut.slew_index().iter().all(|v| v.is_finite())
+                    && lut.load_index().iter().all(|v| v.is_finite())
+                    && lut.values().iter().all(|v| v.is_finite());
+                if !finite {
+                    return Err(GraphError::NonFiniteLut { cell_edge: k });
+                }
+            }
             for (li, lut) in arc.luts().iter().enumerate() {
                 row[li] = if lut.is_valid() { 1.0 } else { 0.0 };
                 let idx_base = 8 + li * 14;
@@ -248,7 +307,7 @@ impl DesignGraph {
             }
         }
 
-        DesignGraph {
+        Ok(DesignGraph {
             name: name.into(),
             is_train,
             num_pins: n,
@@ -274,7 +333,47 @@ impl DesignGraph {
                 routing_seconds: flow.routing_seconds,
                 sta_seconds: flow.sta_seconds,
             },
+        })
+    }
+
+    /// Re-validates an already-lowered design, catching corruption that
+    /// arrived after construction (deserialization, in-memory mutation,
+    /// fault injection). The trainer calls this before every use and skips
+    /// designs that fail rather than poisoning an epoch.
+    ///
+    /// # Errors
+    ///
+    /// The same [`GraphError`] variants as
+    /// [`try_from_flow`](Self::try_from_flow).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.endpoints.is_empty() {
+            return Err(GraphError::EmptyEndpoints);
         }
+        if self.levels.len() > MAX_LEVELS {
+            return Err(GraphError::LevelOverflow {
+                levels: self.levels.len(),
+                max: MAX_LEVELS,
+            });
+        }
+        {
+            let pf = self.pin_features.data();
+            for i in 0..self.num_pins {
+                let row = &pf[i * PIN_FEATURES..(i + 1) * PIN_FEATURES];
+                if row.iter().any(|v| !v.is_finite()) {
+                    return Err(GraphError::NonFiniteCoordinate(PinId::new(i)));
+                }
+            }
+        }
+        {
+            let cef = self.cell_edge_features.data();
+            for k in 0..self.num_cell_edges() {
+                let row = &cef[k * CELL_EDGE_FEATURES..(k + 1) * CELL_EDGE_FEATURES];
+                if row.iter().any(|v| !v.is_finite()) {
+                    return Err(GraphError::NonFiniteLut { cell_edge: k });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of net edges.
@@ -352,6 +451,60 @@ mod tests {
         let sta = StaConfig::default();
         let flow = run_full_flow(&circuit, &placement, &lib, &sta);
         DesignGraph::from_flow("t", true, &circuit, &placement, &lib, &flow, &sta)
+    }
+
+    #[test]
+    fn validation_accepts_good_and_rejects_poisoned_designs() {
+        // Tensor clones share storage, so each poisoning gets its own
+        // freshly lowered design.
+        assert!(lowered().validate().is_ok());
+
+        let bad = lowered();
+        bad.pin_features.data_mut()[3] = f32::NAN;
+        assert!(matches!(
+            bad.validate(),
+            Err(tp_graph::GraphError::NonFiniteCoordinate(_))
+        ));
+
+        let bad = lowered();
+        let last = bad.cell_edge_features.numel() - 1;
+        bad.cell_edge_features.data_mut()[last] = f32::INFINITY;
+        assert!(matches!(
+            bad.validate(),
+            Err(tp_graph::GraphError::NonFiniteLut { .. })
+        ));
+
+        let mut bad = lowered();
+        bad.endpoints.clear();
+        assert!(matches!(
+            bad.validate(),
+            Err(tp_graph::GraphError::EmptyEndpoints)
+        ));
+    }
+
+    #[test]
+    fn non_finite_placement_rejected_at_build_time() {
+        let lib = Library::synthetic_sky130(0);
+        let nand = lib.type_id("NAND2_X1").unwrap();
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_primary_input("a");
+        let c2 = b.add_primary_input("b");
+        let (_, ins, out) = b.add_cell("u0", nand, 2);
+        let z = b.add_primary_output("z");
+        b.connect(a, &[ins[0]]).unwrap();
+        b.connect(c2, &[ins[1]]).unwrap();
+        b.connect(out, &[z]).unwrap();
+        let circuit = b.finish().unwrap();
+        let mut placement = place_circuit(&circuit, &PlacementConfig::default(), 3);
+        let sta = StaConfig::default();
+        let flow = run_full_flow(&circuit, &placement, &lib, &sta);
+        placement.set_location_unchecked(
+            tp_graph::PinId::new(0),
+            tp_place::Point::new(f32::NAN, 1.0),
+        );
+        let err = DesignGraph::try_from_flow("t", true, &circuit, &placement, &lib, &flow, &sta)
+            .unwrap_err();
+        assert!(matches!(err, tp_graph::GraphError::NonFiniteCoordinate(_)));
     }
 
     #[test]

@@ -19,6 +19,26 @@ pub enum GraphError {
     CombinationalCycle(PinId),
     /// A pin was left unconnected at `finish()` time (dangling input).
     DanglingPin(PinId),
+    /// A pin's placement coordinate is NaN or infinite; training on it
+    /// would silently poison every loss the pin's cone touches.
+    NonFiniteCoordinate(PinId),
+    /// A cell arc's NLDM lookup table carries a NaN/infinite index or
+    /// value at the given cell-edge index.
+    NonFiniteLut {
+        /// Arena index of the offending cell edge (timing arc).
+        cell_edge: usize,
+    },
+    /// The design exposes no timing endpoints, so no slack label (or
+    /// prediction target) exists.
+    EmptyEndpoints,
+    /// The levelized topology is deeper than the propagation engine
+    /// supports.
+    LevelOverflow {
+        /// Number of topological levels found.
+        levels: usize,
+        /// The supported maximum.
+        max: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -34,6 +54,16 @@ impl fmt::Display for GraphError {
                 write!(f, "combinational cycle detected through pin {p}")
             }
             GraphError::DanglingPin(p) => write!(f, "pin {p} was never connected"),
+            GraphError::NonFiniteCoordinate(p) => {
+                write!(f, "pin {p} has a non-finite placement coordinate")
+            }
+            GraphError::NonFiniteLut { cell_edge } => {
+                write!(f, "cell edge {cell_edge} has a non-finite NLDM table entry")
+            }
+            GraphError::EmptyEndpoints => write!(f, "design has no timing endpoints"),
+            GraphError::LevelOverflow { levels, max } => {
+                write!(f, "design has {levels} topological levels, maximum is {max}")
+            }
         }
     }
 }

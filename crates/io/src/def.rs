@@ -69,8 +69,8 @@ pub fn parse(input: &str, circuit: &Circuit) -> Result<Placement, ParseError> {
     let h = c.number()?;
     c.expect(")")?;
     c.expect(";")?;
-    if w <= 0.0 || h <= 0.0 {
-        return Err(ParseError::new(c.line(), "die dimensions must be positive"));
+    if !(w > 0.0 && h > 0.0 && w.is_finite() && h.is_finite()) {
+        return Err(ParseError::new(c.line(), "die dimensions must be positive and finite"));
     }
     let die = Die::new(w, h);
 

@@ -111,21 +111,44 @@ fn parse_bool(c: &mut Cursor) -> Result<bool, ParseError> {
     }
 }
 
+/// `Lut::new` asserts these invariants; a parser must reject bad input
+/// with an error instead of reaching those asserts.
+fn check_axis(axis: &[f32; LUT_AXIS], which: &str, line: usize) -> Result<(), ParseError> {
+    if axis.iter().any(|v| !v.is_finite()) {
+        return Err(ParseError::new(line, format!("{which} axis has a non-finite entry")));
+    }
+    if axis.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(ParseError::new(
+            line,
+            format!("{which} axis must be strictly increasing"),
+        ));
+    }
+    Ok(())
+}
+
 fn parse_lut(c: &mut Cursor) -> Result<Lut, ParseError> {
     c.expect("{")?;
     c.expect("index_1")?;
     c.expect(":")?;
+    let slew_line = c.line();
     let slew = parse_axis(c)?;
+    check_axis(&slew, "index_1", slew_line)?;
     c.expect(";")?;
     c.expect("index_2")?;
     c.expect(":")?;
+    let load_line = c.line();
     let load = parse_axis(c)?;
+    check_axis(&load, "index_2", load_line)?;
     c.expect(";")?;
     c.expect("values")?;
     c.expect(":")?;
+    let values_line = c.line();
     let mut values = Vec::with_capacity(LUT_AXIS * LUT_AXIS);
     for _ in 0..LUT_AXIS * LUT_AXIS {
         values.push(c.number()?);
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(ParseError::new(values_line, "table values must be finite".to_string()));
     }
     c.expect(";")?;
     c.expect("}")?;

@@ -1,0 +1,111 @@
+//! Property tests: no parser in `tp-io` may panic on corrupted input.
+//!
+//! Each case writes a valid interchange file, applies a seeded burst of
+//! byte-level mutations ([`tp_rng::prop::mutate_bytes`]), and feeds the
+//! result back through the matching parser. Parsers must either accept the
+//! input (some mutations land in whitespace or turn one valid literal into
+//! another) or return a `ParseError` — an abort via panic is the failure
+//! the suite exists to catch. Cross-format garbage (an SDF report handed
+//! to the Verilog parser, a netlist handed to the DEF parser) must also be
+//! rejected gracefully.
+//!
+//! Everything is seeded through `tp-rng`, so failures reproduce with the
+//! printed `TP_PROP_SEED` recipe.
+
+use tp_gen::{generate, GeneratorConfig, BENCHMARKS};
+use tp_io::{def, liberty, sdf, verilog};
+use tp_liberty::Library;
+use tp_place::{place_circuit, PlacementConfig};
+use tp_rng::prop::{check, mutate_bytes};
+use tp_rng::Rng;
+
+struct Fixture {
+    library: Library,
+    circuit: tp_graph::Circuit,
+    verilog: String,
+    liberty: String,
+    def: String,
+    sdf: String,
+}
+
+/// One small design written in every format the crate speaks.
+fn fixture() -> Fixture {
+    let library = Library::synthetic_sky130(5);
+    let circuit = generate(
+        &BENCHMARKS[0],
+        &library,
+        &GeneratorConfig {
+            scale: 0.01,
+            seed: 9,
+            depth: None,
+        },
+    );
+    let placement = place_circuit(&circuit, &PlacementConfig::default(), 9);
+    let flow = tp_sta::flow::run_full_flow(
+        &circuit,
+        &placement,
+        &library,
+        &tp_sta::StaConfig::default(),
+    );
+    Fixture {
+        verilog: verilog::write(&circuit, &library),
+        liberty: liberty::write(&library, "fuzz"),
+        def: def::write(&circuit, &placement),
+        sdf: sdf::write(&circuit, &library, &flow.report),
+        library,
+        circuit,
+    }
+}
+
+/// Mutates `text` with 1–12 seeded byte operations. The result is
+/// deliberately not guaranteed to stay UTF-8; invalid sequences are
+/// replaced so the str-based parsers still get exercised end to end.
+fn mutated(rng: &mut tp_rng::StdRng, text: &str) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let count = rng.gen_range(1u64..13) as usize;
+    mutate_bytes(rng, &mut bytes, count);
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn liberty_parser_never_panics_on_mutations() {
+    let fx = fixture();
+    check("io.fuzz.liberty", 300, |rng| {
+        let input = mutated(rng, &fx.liberty);
+        let _ = liberty::parse(&input);
+    });
+}
+
+#[test]
+fn verilog_parser_never_panics_on_mutations() {
+    let fx = fixture();
+    check("io.fuzz.verilog", 300, |rng| {
+        let input = mutated(rng, &fx.verilog);
+        let _ = verilog::parse(&input, &fx.library);
+    });
+}
+
+#[test]
+fn def_parser_never_panics_on_mutations() {
+    let fx = fixture();
+    check("io.fuzz.def", 300, |rng| {
+        let input = mutated(rng, &fx.def);
+        let _ = def::parse(&input, &fx.circuit);
+    });
+}
+
+#[test]
+fn parsers_reject_cross_format_input() {
+    let fx = fixture();
+    // Feed every text to every parser it was not written for (this is also
+    // the only parser-side coverage for SDF, which is a write-only format).
+    let texts = [&fx.verilog, &fx.liberty, &fx.def, &fx.sdf];
+    check("io.fuzz.crossformat", 60, |rng| {
+        for text in texts {
+            let input = mutated(rng, text);
+            let _ = liberty::parse(&input);
+            let _ = verilog::parse(&input, &fx.library);
+            let _ = def::parse(&input, &fx.circuit);
+        }
+    });
+}

@@ -1,6 +1,43 @@
 //! Gradient-descent optimizers operating on parameter handles.
 
+use std::fmt;
+
 use tp_tensor::Tensor;
+
+/// A snapshot of Adam's internal state (first/second moments and the step
+/// counter), exported for checkpointing and restored on resume so that a
+/// resumed run continues bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// First-moment estimates, one vector per managed parameter.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment estimates, parallel to `m`.
+    pub v: Vec<Vec<f32>>,
+    /// Bias-correction step counter.
+    pub t: u32,
+}
+
+/// Error returned when an [`AdamState`] does not match the optimizer's
+/// parameter list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimStateMismatch {
+    /// What the snapshot describes (tensor count or a tensor length).
+    pub stored: usize,
+    /// What the live optimizer expects.
+    pub expected: usize,
+}
+
+impl fmt::Display for OptimStateMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "optimizer state shape mismatch: stored {}, optimizer expects {}",
+            self.stored, self.expected
+        )
+    }
+}
+
+impl std::error::Error for OptimStateMismatch {}
 
 /// Adam (Kingma & Ba) with the standard bias-corrected moment estimates.
 ///
@@ -71,6 +108,46 @@ impl Adam {
         for p in &self.params {
             p.zero_grad();
         }
+    }
+
+    /// Exports the moment estimates and step counter for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+        }
+    }
+
+    /// Restores a state exported by [`export_state`](Self::export_state).
+    ///
+    /// The whole snapshot is validated against the live parameter list
+    /// before anything is committed, so a mismatched state leaves the
+    /// optimizer untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimStateMismatch`] when the tensor count or any moment
+    /// length disagrees with the managed parameters.
+    pub fn import_state(&mut self, state: AdamState) -> Result<(), OptimStateMismatch> {
+        if state.m.len() != self.params.len() || state.v.len() != self.params.len() {
+            return Err(OptimStateMismatch {
+                stored: state.m.len().min(state.v.len()),
+                expected: self.params.len(),
+            });
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            if state.m[i].len() != p.numel() || state.v[i].len() != p.numel() {
+                return Err(OptimStateMismatch {
+                    stored: state.m[i].len().min(state.v[i].len()),
+                    expected: p.numel(),
+                });
+            }
+        }
+        self.m = state.m;
+        self.v = state.v;
+        self.t = state.t;
+        Ok(())
     }
 
     /// Applies one update from the accumulated gradients. Parameters with no
@@ -212,6 +289,43 @@ mod tests {
         opt.step();
         assert_eq!(b.to_vec(), vec![1.0]);
         assert!(a.to_vec()[0] < 1.0);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_continues_identically() {
+        let train = |steps: usize, resume_at: Option<usize>| -> Vec<f32> {
+            let w = Tensor::from_slice(&[2.0, -1.5]).with_grad();
+            let mut opt = Adam::new(vec![w.clone()], 0.05);
+            for s in 0..steps {
+                if resume_at == Some(s) {
+                    // Simulate a crash/restart: rebuild the optimizer from
+                    // an exported state snapshot.
+                    let state = opt.export_state();
+                    opt = Adam::new(vec![w.clone()], opt.lr());
+                    opt.import_state(state).unwrap();
+                }
+                let loss = w.square().sum();
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+            }
+            w.to_vec()
+        };
+        let straight = train(20, None);
+        let resumed = train(20, Some(11));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&straight), bits(&resumed));
+    }
+
+    #[test]
+    fn adam_state_mismatch_rejected() {
+        let a = Tensor::from_slice(&[1.0]).with_grad();
+        let b = Tensor::from_slice(&[1.0, 2.0]).with_grad();
+        let donor = Adam::new(vec![a], 0.1);
+        let mut opt = Adam::new(vec![b], 0.1);
+        let before = opt.export_state();
+        assert!(opt.import_state(donor.export_state()).is_err());
+        assert_eq!(opt.export_state(), before, "failed import must not commit");
     }
 
     #[test]

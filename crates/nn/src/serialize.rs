@@ -80,6 +80,11 @@ pub fn save_parameters<W: Write>(params: &[Tensor], mut w: W) -> Result<(), Seri
 
 /// Reads weights from `r` into `params` (in order), overwriting their data.
 ///
+/// The whole stream is decoded into a staging buffer and validated before
+/// any destination tensor is touched: a shape mismatch or short read
+/// part-way through the file leaves every parameter exactly as it was,
+/// never half-written.
+///
 /// # Errors
 ///
 /// Returns [`SerializeError::BadMagic`] for a foreign stream and
@@ -100,6 +105,7 @@ pub fn load_parameters<R: Read>(params: &[Tensor], mut r: R) -> Result<(), Seria
             expected: params.len(),
         });
     }
+    let mut staged: Vec<Vec<f32>> = Vec::with_capacity(count);
     for p in params {
         r.read_exact(&mut u32buf)?;
         let len = u32::from_le_bytes(u32buf) as usize;
@@ -114,7 +120,11 @@ pub fn load_parameters<R: Read>(params: &[Tensor], mut r: R) -> Result<(), Seria
             r.read_exact(&mut u32buf)?;
             values.push(f32::from_le_bytes(u32buf));
         }
-        p.data_mut().copy_from_slice(&values);
+        staged.push(values);
+    }
+    // Commit phase: nothing above can fail any more.
+    for (p, values) in params.iter().zip(&staged) {
+        p.data_mut().copy_from_slice(values);
     }
     Ok(())
 }
@@ -141,6 +151,24 @@ mod tests {
         let p = [tp_tensor::Tensor::zeros(&[2])];
         let err = load_parameters(&p, &b"NOPE"[..]).unwrap_err();
         assert!(matches!(err, SerializeError::BadMagic));
+    }
+
+    #[test]
+    fn failed_load_leaves_parameters_untouched() {
+        let mut rng = tp_rng::StdRng::seed_from_u64(9);
+        let a = Mlp::small(4, 2, &mut rng);
+        let b = Mlp::small(4, 2, &mut rng);
+        let before: Vec<Vec<f32>> = b.parameters().iter().map(|p| p.to_vec()).collect();
+        let mut buf = Vec::new();
+        save_parameters(&a.parameters(), &mut buf).unwrap();
+        // Truncate at every prefix length: whatever the failure point, the
+        // destination module must stay exactly as constructed.
+        for cut in 0..buf.len() {
+            let err = load_parameters(&b.parameters(), &buf[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must be rejected");
+            let after: Vec<Vec<f32>> = b.parameters().iter().map(|p| p.to_vec()).collect();
+            assert_eq!(before, after, "truncation at {cut} half-wrote tensors");
+        }
     }
 
     #[test]

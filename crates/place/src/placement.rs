@@ -46,6 +46,19 @@ impl Placement {
         &self.locations
     }
 
+    /// Overwrites one pin's location *without* the die-bounds check of
+    /// [`Placement::new`]. Used by ECO experiments and the fault-injection
+    /// harness to model corrupted placements; downstream lowering
+    /// (`DesignGraph::try_from_flow`) is responsible for rejecting
+    /// non-finite coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin id is out of range.
+    pub fn set_location_unchecked(&mut self, pin: PinId, p: Point) {
+        self.locations[pin.index()] = p;
+    }
+
     /// Half-perimeter wirelength of `net` in µm.
     ///
     /// # Panics

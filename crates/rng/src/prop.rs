@@ -89,9 +89,51 @@ pub fn vec_index<R: Rng>(rng: &mut R, n: usize, bound: usize) -> Vec<usize> {
     (0..n).map(|_| rng.gen_range(0..bound)).collect()
 }
 
+/// Applies `count` seeded byte-level mutations to `bytes` in place: each
+/// mutation flips, overwrites, inserts, deletes or duplicates one byte at a
+/// random offset, or truncates the tail. The fuzz suites feed mutated
+/// interchange files through the parsers with this; determinism follows
+/// from the caller's forked RNG.
+pub fn mutate_bytes<R: Rng>(rng: &mut R, bytes: &mut Vec<u8>, count: usize) {
+    for _ in 0..count {
+        if bytes.is_empty() {
+            bytes.push(rng.gen_range(0u64..256) as u8);
+            continue;
+        }
+        let at = rng.gen_range(0..bytes.len());
+        match rng.gen_range(0u32..6) {
+            0 => bytes[at] ^= 1 << rng.gen_range(0u32..8),
+            1 => bytes[at] = rng.gen_range(0u64..256) as u8,
+            2 => bytes.insert(at, rng.gen_range(0u64..256) as u8),
+            3 => {
+                bytes.remove(at);
+            }
+            4 => {
+                let b = bytes[at];
+                bytes.insert(at, b);
+            }
+            _ => bytes.truncate(at),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mutate_bytes_is_deterministic_and_changes_input() {
+        let original: Vec<u8> = (0u8..64).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        mutate_bytes(&mut StdRng::seed_from_u64(3), &mut a, 8);
+        mutate_bytes(&mut StdRng::seed_from_u64(3), &mut b, 8);
+        assert_eq!(a, b, "same seed must give the same mutant");
+        assert_ne!(a, original, "8 mutations should perturb 64 bytes");
+        // Mutating an empty buffer must not panic and must make progress.
+        let mut empty = Vec::new();
+        mutate_bytes(&mut StdRng::seed_from_u64(4), &mut empty, 3);
+    }
 
     #[test]
     fn passing_property_runs_all_cases() {

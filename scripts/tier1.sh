@@ -15,12 +15,24 @@ cargo build --workspace --release --offline --all-targets
 echo "== tier1: tests (offline) =="
 cargo test -q --workspace --offline
 
+echo "== tier1: fault-tolerance suite (release) =="
+cargo test -q --offline --release --test fault_tolerance
+cargo test -q --offline --release --test determinism
+cargo test -q -p tp-io --offline --release --test parser_fuzz
+
 echo "== tier1: clippy (warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
 echo "== tier1: hermeticity (no external crates in any manifest) =="
 if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml; then
     echo "tier1: FAIL — external dependency reference found above" >&2
+    exit 1
+fi
+
+echo "== tier1: hermeticity (no external crates in any source tree) =="
+if grep -rEn 'extern crate|use (rand|proptest|criterion|tempfile|serde)\b|(^|[^_[:alnum:]])(rand|proptest|criterion|tempfile|serde)::' \
+    src tests crates/*/src crates/*/tests 2>/dev/null; then
+    echo "tier1: FAIL — external crate usage found in sources above" >&2
     exit 1
 fi
 

@@ -7,7 +7,10 @@
 
 use timing_predict::data::{Dataset, DatasetConfig};
 use timing_predict::gen::GeneratorConfig;
-use timing_predict::gnn::{EpochStats, ModelConfig, Prediction, TimingGnn, TrainConfig, Trainer};
+use timing_predict::gnn::{
+    CheckpointPolicy, EpochStats, FitOptions, ModelConfig, Prediction, TimingGnn, TrainConfig,
+    Trainer,
+};
 use timing_predict::liberty::Library;
 use timing_predict::rng::seed_from_env;
 
@@ -67,6 +70,84 @@ fn same_seed_is_bit_identical() {
     assert_eq!(bits(&p1.arrival), bits(&p2.arrival));
     assert_eq!(bits(&p1.slew), bits(&p2.slew));
     assert_eq!(bits(&p1.net_delay), bits(&p2.net_delay));
+}
+
+/// Determinism must also survive a kill + resume: restoring the epoch-k
+/// checkpoint and training the remaining epochs replays the uninterrupted
+/// run bit for bit (same `TP_SEED`). This is the guarantee that makes
+/// preemptible training safe for paper tables.
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let seed = seed_from_env("TP_SEED", 42);
+    let library = Library::synthetic_sky130(0);
+    let dataset = Dataset::build_suite(
+        &library,
+        &DatasetConfig {
+            generator: GeneratorConfig {
+                scale: 0.001,
+                seed,
+                depth: Some(6),
+            },
+            ..Default::default()
+        },
+    );
+    let fresh_trainer = || {
+        Trainer::new(
+            TimingGnn::new(&ModelConfig {
+                embed_dim: 4,
+                prop_dim: 6,
+                hidden: vec![8],
+                seed,
+                ablation: Default::default(),
+            }),
+            TrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        )
+    };
+
+    let dir = std::env::temp_dir().join("tp-determinism-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uninterrupted reference run, checkpointing every epoch.
+    let mut reference = fresh_trainer();
+    let full = reference.fit_with(
+        &dataset,
+        &FitOptions {
+            checkpoint: Some(CheckpointPolicy::every_epoch(&dir)),
+            ..FitOptions::default()
+        },
+    );
+    let full_pred = reference.predict(dataset.designs().first().expect("non-empty suite"));
+
+    // Kill after epoch 1: drop the later checkpoints, resume fresh.
+    for epoch in 2..=3u64 {
+        std::fs::remove_file(timing_predict::gnn::checkpoint::checkpoint_path(&dir, epoch))
+            .expect("checkpoint exists");
+    }
+    let mut resumed = fresh_trainer();
+    let from = resumed
+        .resume_from_dir(&dir)
+        .expect("architecture matches")
+        .expect("valid checkpoint");
+    assert_eq!(from, 1);
+    let tail = resumed.fit_with(&dataset, &FitOptions::default());
+    let resumed_pred = resumed.predict(dataset.designs().first().expect("non-empty suite"));
+
+    let bits: Vec<u32> = full.epochs[1..].iter().map(|e| e.total.to_bits()).collect();
+    let tail_bits: Vec<u32> = tail.epochs.iter().map(|e| e.total.to_bits()).collect();
+    assert_eq!(bits, tail_bits, "resumed losses must replay the reference");
+
+    let pb = |p: &Prediction| -> Vec<u32> {
+        [&p.arrival, &p.slew, &p.net_delay]
+            .iter()
+            .flat_map(|t| t.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+            .collect()
+    };
+    assert_eq!(pb(&resumed_pred), pb(&full_pred));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
