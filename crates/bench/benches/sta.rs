@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the ground-truth timing flow: the full
+//! routing+STA reference flow and its two sweeps separately. Emits
+//! `BENCH_sta.json` (collected by `scripts/bench.sh`).
+
+use tp_bench::micro::Suite;
+use tp_gen::{generate, BenchmarkSpec, GeneratorConfig};
+use tp_graph::Circuit;
+use tp_liberty::Library;
+use tp_place::{place_circuit, Placement, PlacementConfig};
+use tp_route::{route_circuit, RoutingConfig};
+use tp_sta::flow::run_full_flow;
+use tp_sta::{StaConfig, StaEngine};
+
+fn fixture(scale: f64) -> (Library, Circuit, Placement) {
+    let library = Library::synthetic_sky130(1);
+    let spec = BenchmarkSpec::by_name("usbf_device").expect("known benchmark");
+    let circuit = generate(
+        spec,
+        &library,
+        &GeneratorConfig {
+            scale,
+            seed: 1,
+            depth: None,
+        },
+    );
+    let placement = place_circuit(&circuit, &PlacementConfig::default(), 1);
+    (library, circuit, placement)
+}
+
+fn main() {
+    let mut suite = Suite::new("sta");
+    let (library, circuit, placement) = fixture(0.02);
+
+    suite.bench("full_flow/usbf_device@0.02", || {
+        run_full_flow(&circuit, &placement, &library, &StaConfig::default())
+    });
+
+    let routing = route_circuit(&circuit, &placement, &library, &RoutingConfig::default());
+    let topology = circuit.topology();
+    let engine = StaEngine::new(&library, StaConfig::default());
+    suite.bench("sta_sweeps/usbf_device@0.02", || {
+        engine.run_with_routing(&circuit, &topology, &routing)
+    });
+
+    suite.finish();
+}

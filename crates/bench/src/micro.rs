@@ -17,6 +17,7 @@
 //! | `TP_BENCH_SAMPLES`  | timed samples per benchmark     | `11`    |
 //! | `TP_BENCH_MIN_MS`   | min wall-clock per sample, ms   | `20`    |
 //! | `TP_BENCH_FAST`     | set to shrink to 3 × 2 ms       | unset   |
+//! | `TP_BENCH_OUT`      | directory for `BENCH_*.json`    | `.`     |
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -134,30 +135,29 @@ impl Suite {
 
     /// Serializes the results as a JSON object (no external dependencies:
     /// names are escaped, numbers written with full precision).
+    ///
+    /// Delegates to [`tp_obs::export::bench_json`], the single source of
+    /// truth for the `BENCH_*.json` schema.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"suite\": {},\n", json_string(&self.name)));
-        out.push_str("  \"results\": [\n");
-        for (i, r) in self.results.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": {}, \"median_ns\": {}, \"mean_ns\": {}, \
-                 \"min_ns\": {}, \"max_ns\": {}, \"iters_per_sample\": {}, \
-                 \"samples\": {}}}{}\n",
-                json_string(&r.name),
-                r.median_ns,
-                r.mean_ns,
-                r.min_ns,
-                r.max_ns,
-                r.iters_per_sample,
-                r.samples,
-                if i + 1 < self.results.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        out
+        let entries: Vec<tp_obs::export::BenchEntry> = self
+            .results
+            .iter()
+            .map(|r| tp_obs::export::BenchEntry {
+                name: r.name.clone(),
+                median_ns: r.median_ns,
+                mean_ns: r.mean_ns,
+                min_ns: r.min_ns,
+                max_ns: r.max_ns,
+                iters_per_sample: r.iters_per_sample,
+                samples: r.samples,
+            })
+            .collect();
+        tp_obs::export::bench_json(&self.name, &entries)
     }
 
-    /// Prints the summary table and writes `BENCH_<suite>.json`.
+    /// Prints the summary table and writes `BENCH_<suite>.json` into
+    /// `TP_BENCH_OUT` (default: the working directory — note cargo runs
+    /// bench binaries from the package root, not the shell's cwd).
     ///
     /// Returns the path written. I/O failures are reported to stderr, not
     /// fatal: a bench run on a read-only filesystem still prints results.
@@ -179,7 +179,8 @@ impl Suite {
             &["benchmark", "median", "min", "max"],
             &rows,
         );
-        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.name));
+        let dir = std::env::var("TP_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::PathBuf::from(dir).join(format!("BENCH_{}.json", self.name));
         let json = self.to_json();
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
             Ok(()) => eprintln!("[{}] wrote {}", self.name, path.display()),
@@ -187,24 +188,6 @@ impl Suite {
         }
         path
     }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Human-readable nanoseconds (`ns`, `µs`, `ms`, `s`).

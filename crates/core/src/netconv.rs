@@ -127,8 +127,10 @@ impl NetEmbed {
 
     /// Computes pin embeddings `[N, embed_dim]`.
     pub fn embed(&self, design: &DesignGraph) -> Tensor {
+        let _embed_span = tp_obs::span!("net_embed", layers = self.layers.len());
         let mut h = design.pin_features.clone();
-        for layer in &self.layers {
+        for (l, layer) in self.layers.iter().enumerate() {
+            let _layer_span = tp_obs::span!("net_conv", layer = l);
             h = layer.forward(design, &h);
         }
         h

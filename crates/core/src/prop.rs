@@ -99,6 +99,7 @@ impl Propagation {
     ///
     /// Panics if `plan` does not match `design`.
     pub fn forward(&self, design: &DesignGraph, plan: &PropPlan, embedding: &Tensor) -> PropOutput {
+        let _prop_span = tp_obs::span!("levelized_prop", levels = plan.num_levels());
         let x0 = self
             .init
             .forward(&Tensor::concat_cols(&[&design.pin_features, embedding]));
@@ -107,6 +108,8 @@ impl Propagation {
         let mut edge_msgs: Vec<Tensor> = Vec::new();
 
         for (l, lp) in plan.levels.iter().enumerate() {
+            let _level_span = tp_obs::span!("prop_level", level = l, pins = lp.pins.len());
+            tp_obs::metrics::count("gnn.pins_propagated", lp.pins.len() as u64);
             if l == 0 {
                 blocks.push(x0.gather_rows(&lp.pins));
                 continue;

@@ -172,6 +172,79 @@ pub struct TrainReport {
     /// Human-readable descriptions of checkpoint writes that failed (the
     /// run continues; losing a checkpoint must not kill training).
     pub checkpoint_failures: Vec<String>,
+    /// Wall-clock seconds of the whole `fit_with` call.
+    pub total_seconds: f64,
+}
+
+impl TrainReport {
+    /// Builds a [`tp_obs::manifest::RunReport`] run manifest from this
+    /// report plus the observability data gathered during the run (pass
+    /// the result of [`tp_obs::drain`], which also holds the events for
+    /// the trace exporters).
+    ///
+    /// The manifest carries the seed, config echo, per-phase wall time
+    /// (aggregated from the `epoch` spans), metric summaries and extra
+    /// sections for epochs, divergences, invalid designs and checkpoint
+    /// failures.
+    pub fn run_report(
+        &self,
+        seed: u64,
+        config: &TrainConfig,
+        data: &tp_obs::ObsData,
+    ) -> tp_obs::manifest::RunReport {
+        use tp_obs::json::{escape, fmt_f64};
+        let total_ns = (self.total_seconds * 1e9) as u64;
+        let mut report = tp_obs::manifest::RunReport::from_obs("train", seed, total_ns, data);
+        report
+            .config("epochs", config.epochs)
+            .config("lr", config.lr)
+            .config("grad_clip", config.grad_clip)
+            .config("lr_floor", config.lr_floor)
+            .config("aux", format!("{:?}", config.aux));
+        let epochs: Vec<String> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"epoch\": {}, \"total\": {}, \"atslew\": {}, \"celld\": {}, \
+                     \"netd\": {}, \"seconds\": {}, \"skipped\": {}, \"rollbacks\": {}}}",
+                    e.epoch,
+                    fmt_f64(e.total as f64),
+                    fmt_f64(e.atslew as f64),
+                    fmt_f64(e.celld as f64),
+                    fmt_f64(e.netd as f64),
+                    fmt_f64(e.seconds),
+                    e.skipped,
+                    e.rollbacks,
+                )
+            })
+            .collect();
+        report.section("epochs", format!("[{}]", epochs.join(", ")));
+        let divergences: Vec<String> = self
+            .divergences
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"epoch\": {}, \"step\": {}, \"design\": {}, \"attempt\": {}, \
+                     \"lr_before\": {}, \"lr_after\": {}, \"recovered\": {}}}",
+                    d.epoch,
+                    d.step,
+                    escape(&d.design),
+                    d.attempt,
+                    fmt_f64(d.lr_before as f64),
+                    fmt_f64(d.lr_after as f64),
+                    d.recovered,
+                )
+            })
+            .collect();
+        report.section("divergences", format!("[{}]", divergences.join(", ")));
+        let invalid: Vec<String> = self.invalid_designs.iter().map(|n| escape(n)).collect();
+        report.section("invalid_designs", format!("[{}]", invalid.join(", ")));
+        let failures: Vec<String> = self.checkpoint_failures.iter().map(|f| escape(f)).collect();
+        report.section("checkpoint_failures", format!("[{}]", failures.join(", ")));
+        report.section("resumed_from_epoch", format!("{}", self.resumed_from_epoch));
+        report
+    }
 }
 
 /// Evaluation over a dataset split with per-design skip reporting.
@@ -346,6 +419,16 @@ impl Trainer {
             self.optimizer.zero_grad();
             let lr_before = self.optimizer.lr();
             if rollbacks >= guard.max_retries {
+                tp_obs::event!(
+                    "train.divergence",
+                    epoch = epoch,
+                    step = step_id,
+                    design = design.name.as_str(),
+                    attempt = rollbacks + 1,
+                    lr_before = lr_before,
+                    lr_after = lr_before,
+                    exhausted = true,
+                );
                 events.push(DivergenceEvent {
                     epoch,
                     step: step_id,
@@ -363,6 +446,17 @@ impl Trainer {
             let lr_after = (lr_before * guard.lr_backoff).max(guard.min_lr);
             self.optimizer.set_lr(lr_after);
             rollbacks += 1;
+            tp_obs::event!(
+                "train.divergence",
+                epoch = epoch,
+                step = step_id,
+                design = design.name.as_str(),
+                attempt = rollbacks,
+                lr_before = lr_before,
+                lr_after = lr_after,
+                exhausted = false,
+            );
+            tp_obs::metrics::count("train.rollbacks", 1);
             events.push(DivergenceEvent {
                 epoch,
                 step: step_id,
@@ -387,6 +481,7 @@ impl Trainer {
     /// Fault-tolerant training: validates designs up front, guards every
     /// step against divergence, and (optionally) checkpoints periodically.
     pub fn fit_with(&mut self, dataset: &Dataset, options: &FitOptions) -> TrainReport {
+        let fit_t0 = Instant::now();
         let mut report = TrainReport {
             resumed_from_epoch: self.start_epoch,
             ..TrainReport::default()
@@ -394,13 +489,24 @@ impl Trainer {
         // Validate once per fit: a bad design is excluded from every epoch
         // and reported, never trained on.
         let mut train: Vec<&DesignGraph> = Vec::new();
-        for design in dataset.train() {
-            match design.validate() {
-                Ok(()) => train.push(design),
-                Err(e) => {
-                    report.invalid_designs.push(design.name.clone());
-                    if self.config.log_every > 0 {
-                        eprintln!("skipping design '{}': {e}", design.name);
+        {
+            let _validate_span = tp_obs::span!("validate", designs = dataset.train().count());
+            for design in dataset.train() {
+                match design.validate() {
+                    Ok(()) => train.push(design),
+                    Err(e) => {
+                        report.invalid_designs.push(design.name.clone());
+                        tp_obs::event!(
+                            "train.degraded_design",
+                            design = design.name.as_str(),
+                            error = format!("{e}"),
+                        );
+                        if self.config.log_every > 0 {
+                            tp_obs::stderr_line(&format!(
+                                "skipping design '{}': {e}",
+                                design.name
+                            ));
+                        }
                     }
                 }
             }
@@ -409,6 +515,7 @@ impl Trainer {
         let base_lr = self.config.lr;
         let first_epoch = self.start_epoch.min(self.config.epochs);
         for epoch in first_epoch..self.config.epochs {
+            let _epoch_span = tp_obs::span!("epoch", epoch = epoch);
             // Cosine learning-rate decay toward `lr_floor · lr`.
             if self.config.lr_floor < 1.0 && self.config.epochs > 1 {
                 let t = epoch as f32 / (self.config.epochs - 1) as f32;
@@ -424,8 +531,10 @@ impl Trainer {
             };
             let mut count = 0;
             for design in &train {
+                let _design_span = tp_obs::span!("design", design = design.name.as_str());
                 let outcome =
                     self.guarded_step(design, epoch, &options.guard, &options.faults, &mut report.divergences);
+                tp_obs::metrics::count("train.steps", 1);
                 agg.rollbacks += outcome.rollbacks as usize;
                 match outcome.parts {
                     Some(parts) => {
@@ -444,11 +553,13 @@ impl Trainer {
             agg.netd /= k;
             agg.total /= k;
             agg.seconds = t0.elapsed().as_secs_f64();
+            tp_obs::metrics::gauge_set("train.last_loss", agg.total as f64);
+            tp_obs::metrics::observe("train.epoch_ns", (agg.seconds * 1e9) as u64);
             if self.config.log_every > 0 && epoch % self.config.log_every == 0 {
-                eprintln!(
+                tp_obs::stderr_line(&format!(
                     "epoch {:>3}: total {:.5} (atslew {:.5} celld {:.5} netd {:.5}) [{:.1}s]",
                     epoch, agg.total, agg.atslew, agg.celld, agg.netd, agg.seconds
-                );
+                ));
             }
             report.epochs.push(agg);
 
@@ -456,7 +567,13 @@ impl Trainer {
                 let done = epoch + 1;
                 let every = policy.every_epochs.max(1);
                 if done % every == 0 || done == self.config.epochs {
+                    let _ckpt_span = tp_obs::span!("checkpoint", epoch = done);
                     if let Err(e) = self.write_checkpoint(policy, done as u64) {
+                        tp_obs::event!(
+                            "train.checkpoint_failure",
+                            epoch = done,
+                            error = format!("{e}"),
+                        );
                         report
                             .checkpoint_failures
                             .push(format!("epoch {done}: {e}"));
@@ -467,6 +584,7 @@ impl Trainer {
         // A later fit on the same trainer starts fresh unless another
         // resume repositions it.
         self.start_epoch = 0;
+        report.total_seconds = fit_t0.elapsed().as_secs_f64();
         report
     }
 

@@ -46,6 +46,7 @@ fn scaled(v: usize, scale: f64, min: usize) -> usize {
 ///
 /// Panics if `config.scale` is not strictly positive.
 pub fn generate(spec: &BenchmarkSpec, library: &Library, config: &GeneratorConfig) -> Circuit {
+    let _gen_span = tp_obs::span!("gen.design", name = spec.name);
     assert!(config.scale > 0.0, "scale must be positive");
     let mut hasher = DefaultHasher::new();
     spec.name.hash(&mut hasher);

@@ -154,6 +154,8 @@ impl CircuitBuilder {
     ///
     /// # Errors
     ///
+    /// - [`GraphError::UnknownPin`] if any pin id is out of range (e.g. a
+    ///   `PinId` from a different builder),
     /// - [`GraphError::InvalidDriver`] if `driver` cannot drive,
     /// - [`GraphError::InvalidSink`] if a sink cannot sink,
     /// - [`GraphError::PinAlreadyConnected`] if any pin already has a net,
@@ -161,6 +163,13 @@ impl CircuitBuilder {
     pub fn connect(&mut self, driver: PinId, sinks: &[PinId]) -> Result<NetId, GraphError> {
         if sinks.is_empty() {
             return Err(GraphError::EmptyNet(driver));
+        }
+        // Range-check every id before indexing: a foreign PinId must be a
+        // typed error, not an index panic halfway through a mutation.
+        for &p in std::iter::once(&driver).chain(sinks) {
+            if p.index() >= self.pins.len() {
+                return Err(GraphError::UnknownPin(p));
+            }
         }
         if !self.pins[driver.index()].kind.is_driver() {
             return Err(GraphError::InvalidDriver(driver));
@@ -303,6 +312,30 @@ mod tests {
         let mut b = CircuitBuilder::new("bad");
         let pi = b.add_primary_input("a");
         assert_eq!(b.connect(pi, &[]), Err(GraphError::EmptyNet(pi)));
+    }
+
+    #[test]
+    fn foreign_pin_id_rejected_not_panicking() {
+        let mut other = CircuitBuilder::new("other");
+        for i in 0..5 {
+            other.add_primary_input(format!("x{i}"));
+        }
+        let foreign = other.add_primary_output("far");
+
+        let mut b = CircuitBuilder::new("bad");
+        let pi = b.add_primary_input("a");
+        assert_eq!(
+            b.connect(pi, &[foreign]),
+            Err(GraphError::UnknownPin(foreign))
+        );
+        assert_eq!(
+            b.connect(foreign, &[pi]),
+            Err(GraphError::UnknownPin(foreign))
+        );
+        // The failed connects must not have mutated anything.
+        let po = b.add_primary_output("z");
+        b.connect(pi, &[po]).unwrap();
+        b.finish().unwrap();
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum GraphError {
     /// The design exposes no timing endpoints, so no slack label (or
     /// prediction target) exists.
     EmptyEndpoints,
+    /// A pin id does not belong to this builder (out of range) — e.g. a
+    /// `PinId` from a different builder passed to `connect`.
+    UnknownPin(PinId),
     /// The levelized topology is deeper than the propagation engine
     /// supports.
     LevelOverflow {
@@ -61,6 +64,9 @@ impl fmt::Display for GraphError {
                 write!(f, "cell edge {cell_edge} has a non-finite NLDM table entry")
             }
             GraphError::EmptyEndpoints => write!(f, "design has no timing endpoints"),
+            GraphError::UnknownPin(p) => {
+                write!(f, "pin {p} does not belong to this builder")
+            }
             GraphError::LevelOverflow { levels, max } => {
                 write!(f, "design has {levels} topological levels, maximum is {max}")
             }

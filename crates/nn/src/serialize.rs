@@ -27,6 +27,12 @@ pub enum SerializeError {
         /// What the live module expects.
         expected: usize,
     },
+    /// A tensor count or element count exceeds the format's `u32` fields;
+    /// writing it would silently truncate and corrupt the file.
+    TooLarge {
+        /// The count that does not fit.
+        count: usize,
+    },
 }
 
 impl fmt::Display for SerializeError {
@@ -37,6 +43,10 @@ impl fmt::Display for SerializeError {
             SerializeError::ArchitectureMismatch { stored, expected } => write!(
                 f,
                 "weight file shape mismatch: stored {stored}, module expects {expected}"
+            ),
+            SerializeError::TooLarge { count } => write!(
+                f,
+                "count {count} exceeds the TPW1 format's u32 field"
             ),
         }
     }
@@ -64,16 +74,29 @@ impl From<std::io::Error> for SerializeError {
 ///
 /// # Errors
 ///
-/// Propagates any I/O error from the writer.
+/// Propagates any I/O error from the writer, and returns
+/// [`SerializeError::TooLarge`] if a tensor count or element count
+/// overflows the format's `u32` fields (instead of silently truncating).
 pub fn save_parameters<W: Write>(params: &[Tensor], mut w: W) -> Result<(), SerializeError> {
+    let count = u32::try_from(params.len()).map_err(|_| SerializeError::TooLarge {
+        count: params.len(),
+    })?;
     w.write_all(MAGIC)?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    w.write_all(&count.to_le_bytes())?;
+    // One buffered write per tensor: element-at-a-time 4-byte writes are
+    // pathological on unbuffered writers (e.g. a raw File).
+    let mut buf: Vec<u8> = Vec::new();
     for p in params {
         let data = p.to_vec();
-        w.write_all(&(data.len() as u32).to_le_bytes())?;
+        let len = u32::try_from(data.len())
+            .map_err(|_| SerializeError::TooLarge { count: data.len() })?;
+        buf.clear();
+        buf.reserve(4 + data.len() * 4);
+        buf.extend_from_slice(&len.to_le_bytes());
         for v in data {
-            w.write_all(&v.to_le_bytes())?;
+            buf.extend_from_slice(&v.to_le_bytes());
         }
+        w.write_all(&buf)?;
     }
     Ok(())
 }

@@ -1,0 +1,193 @@
+//! Span guards, trace events and the per-thread bookkeeping behind them.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide monotonic epoch; all timestamps are nanoseconds since the
+/// first instrumentation touch.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+pub(crate) fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Small dense thread id (0, 1, 2, … in order of first instrumentation
+/// touch), also used to pick a counter shard.
+pub(crate) fn tid() -> u64 {
+    TID.with(|c| {
+        let v = c.get();
+        if v != u64::MAX {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        c.set(v);
+        v
+    })
+}
+
+/// A typed span/event argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (counts, indices).
+    UInt(u64),
+    /// Floating point (losses, rates).
+    Float(f64),
+    /// Text (design names, error messages).
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+macro_rules! impl_from {
+    ($($ty:ty => $variant:ident as $as:ty),+ $(,)?) => {
+        $(impl From<$ty> for ArgValue {
+            fn from(v: $ty) -> ArgValue { ArgValue::$variant(v as $as) }
+        })+
+    };
+}
+impl_from!(
+    i32 => Int as i64,
+    i64 => Int as i64,
+    u32 => UInt as u64,
+    u64 => UInt as u64,
+    usize => UInt as u64,
+    f32 => Float as f64,
+    f64 => Float as f64,
+);
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> ArgValue {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<&String> for ArgValue {
+    fn from(v: &String) -> ArgValue {
+        ArgValue::Str(v.clone())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span (`ph:"X"` in the chrome trace).
+    Span,
+    /// A point-in-time marker (`ph:"i"`).
+    Instant,
+}
+
+/// One collected event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span/event name (static taxonomy, e.g. `"epoch"`).
+    pub name: &'static str,
+    /// Span or instant marker.
+    pub kind: EventKind,
+    /// Start time, nanoseconds since the process epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Dense thread id of the recording thread.
+    pub tid: u64,
+    /// Nesting depth on that thread at record time (0 = top level).
+    pub depth: u32,
+    /// Typed arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start_ns: u64,
+    tid: u64,
+    depth: u32,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII span: records one [`EventKind::Span`] event covering its lifetime
+/// when dropped. Inert (no clock read, no allocation) while recording is
+/// off. Create through the [`span!`](crate::span) macro.
+#[must_use = "a span measures the scope holding its guard"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Opens a span. Prefer the [`span!`](crate::span) macro, which skips
+    /// argument construction while recording is off.
+    pub fn enter(name: &'static str, args: Vec<(&'static str, ArgValue)>) -> SpanGuard {
+        if !crate::is_enabled() {
+            return SpanGuard { active: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                start_ns: now_ns(),
+                tid: tid(),
+                depth,
+                args,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end_ns = now_ns();
+        crate::record(TraceEvent {
+            name: span.name,
+            kind: EventKind::Span,
+            ts_ns: span.start_ns,
+            dur_ns: end_ns.saturating_sub(span.start_ns),
+            tid: span.tid,
+            depth: span.depth,
+            args: span.args,
+        });
+    }
+}
+
+pub(crate) fn record_instant(name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+    crate::record(TraceEvent {
+        name,
+        kind: EventKind::Instant,
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        tid: tid(),
+        depth: DEPTH.with(Cell::get),
+        args,
+    });
+}

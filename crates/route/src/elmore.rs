@@ -180,10 +180,18 @@ pub fn route_circuit(
     library: &Library,
     config: &RoutingConfig,
 ) -> Routing {
+    let _route_span = tp_obs::span!("route.circuit", nets = circuit.num_nets());
+    let sink_hist = tp_obs::is_enabled().then(|| tp_obs::metrics::histogram("route.net_sinks"));
     let nets: Vec<RoutedNet> = circuit
         .net_ids()
-        .map(|n| route_net(circuit, placement, library, config, n))
+        .map(|n| {
+            if let Some(h) = &sink_hist {
+                h.record(circuit.net(n).sinks.len() as u64);
+            }
+            route_net(circuit, placement, library, config, n)
+        })
         .collect();
+    tp_obs::metrics::count("route.nets_routed", nets.len() as u64);
     let total_wirelength = nets.iter().map(|n| n.wirelength).sum();
     Routing {
         nets,

@@ -82,17 +82,21 @@ impl<'a> StaEngine<'a> {
         }
 
         // ---- forward propagation, level by level ----
-        for level in topology.levels() {
-            for &pin in level {
-                self.propagate_pin(
-                    circuit,
-                    topology,
-                    routing,
-                    pin,
-                    &mut at,
-                    &mut slew,
-                    &mut cell_edge_delay,
-                );
+        {
+            let _fwd_span = tp_obs::span!("sta.forward", pins = n);
+            for level in topology.levels() {
+                tp_obs::metrics::count("sta.pins_propagated", level.len() as u64);
+                for &pin in level {
+                    self.propagate_pin(
+                        circuit,
+                        topology,
+                        routing,
+                        pin,
+                        &mut at,
+                        &mut slew,
+                        &mut cell_edge_delay,
+                    );
+                }
             }
         }
 
@@ -111,6 +115,7 @@ impl<'a> StaEngine<'a> {
         net_edge_delay: Vec<[f32; 4]>,
         cell_edge_delay: Vec<[f32; 4]>,
     ) -> TimingReport {
+        let _bwd_span = tp_obs::span!("sta.backward", pins = circuit.num_pins());
         let n = circuit.num_pins();
         let cfg = &self.config;
         // ---- backward required-time propagation ----

@@ -46,13 +46,19 @@ pub fn run_full_flow(
     config: &StaConfig,
 ) -> FlowResult {
     let t0 = Instant::now();
-    let routing = route_circuit(circuit, placement, library, &config.routing);
+    let routing = {
+        let _route_span = tp_obs::span!("flow.route", nets = circuit.num_nets());
+        route_circuit(circuit, placement, library, &config.routing)
+    };
     let routing_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let topology = circuit.topology();
-    let engine = StaEngine::new(library, *config);
-    let report = engine.run_with_routing(circuit, &topology, &routing);
+    let report = {
+        let _sta_span = tp_obs::span!("flow.sta", pins = circuit.num_pins());
+        let topology = circuit.topology();
+        let engine = StaEngine::new(library, *config);
+        engine.run_with_routing(circuit, &topology, &routing)
+    };
     let sta_seconds = t1.elapsed().as_secs_f64();
 
     FlowResult {

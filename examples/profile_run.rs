@@ -1,0 +1,86 @@
+//! Profiling a training run: trains for a few epochs with observability
+//! enabled and writes the three run artifacts to the working directory —
+//! `trace.json` (chrome trace, load in Perfetto or `about:tracing`),
+//! `events.jsonl` (flat event log) and `run_report.json` (run manifest).
+//!
+//! Run with: `TP_OBS=trace cargo run --release --example profile_run
+//! [scale] [epochs]`. Without `TP_OBS` the run is uninstrumented and
+//! writes **no** files — the same code path tier-1 uses to assert the
+//! default build produces zero artifacts.
+
+use timing_predict::data::{Dataset, DatasetConfig};
+use timing_predict::gen::GeneratorConfig;
+use timing_predict::gnn::{FitOptions, ModelConfig, TimingGnn, TrainConfig, Trainer};
+use timing_predict::liberty::Library;
+use timing_predict::obs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let tracing = std::env::var("TP_OBS").is_ok();
+    let seed = std::env::var("TP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let library = Library::synthetic_sky130(seed);
+    let dataset = Dataset::build_suite(
+        &library,
+        &DatasetConfig {
+            generator: GeneratorConfig {
+                scale,
+                seed,
+                depth: Some(8),
+            },
+            ..Default::default()
+        },
+    );
+
+    // Enable after dataset generation so the manifest's phase aggregation
+    // (top-level spans) covers exactly the training run it reports on.
+    if tracing {
+        obs::enable();
+    }
+
+    let config = TrainConfig {
+        epochs,
+        log_every: 1,
+        ..Default::default()
+    };
+    let mut trainer = Trainer::new(
+        TimingGnn::new(&ModelConfig {
+            embed_dim: 6,
+            prop_dim: 8,
+            hidden: vec![12],
+            seed,
+            ablation: Default::default(),
+        }),
+        config,
+    );
+    let report = trainer.fit_with(&dataset, &FitOptions::default());
+    let last = report.epochs.last().expect("epochs > 0");
+    println!(
+        "trained {epochs} epochs in {:.2}s, final loss {:.5}",
+        report.total_seconds, last.total
+    );
+
+    if tracing {
+        obs::disable();
+        let data = obs::drain();
+        obs::export::write_chrome_trace(std::path::Path::new("trace.json"), &data.events)
+            .expect("write trace.json");
+        obs::export::write_jsonl(std::path::Path::new("events.jsonl"), &data.events)
+            .expect("write events.jsonl");
+        let manifest = report.run_report(seed, trainer.config(), &data);
+        manifest
+            .write(std::path::Path::new("run_report.json"))
+            .expect("write run_report.json");
+        println!(
+            "wrote trace.json ({} events), events.jsonl, run_report.json ({} phases, {} metrics)",
+            data.events.len(),
+            manifest.phases.len(),
+            manifest.metrics.len()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmark suites and collects their BENCH_*.json files
+# under results/bench/.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   shrink every benchmark to 3 samples × 2 ms (TP_BENCH_FAST),
+#             for CI: verifies the harness and the JSON artifacts, not
+#             the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+    SMOKE=1
+fi
+
+OUT_DIR="$PWD/results/bench"
+mkdir -p "$OUT_DIR"
+
+echo "== bench: building (release, offline) =="
+cargo build --workspace --release --offline --benches
+
+# TP_BENCH_OUT points the suites' BENCH_<suite>.json at results/bench
+# (cargo runs bench binaries from the package root, so cwd won't do).
+export TP_BENCH_OUT="$OUT_DIR"
+SUITES=(train sta engines models tensor_ops)
+for suite in "${SUITES[@]}"; do
+    echo "== bench: $suite =="
+    if [ "$SMOKE" = 1 ]; then
+        TP_BENCH_FAST=1 cargo bench -q --offline -p tp-bench --bench "$suite"
+    else
+        cargo bench -q --offline -p tp-bench --bench "$suite"
+    fi
+    if [ ! -s "$OUT_DIR/BENCH_$suite.json" ]; then
+        echo "bench: FAIL — $suite did not write BENCH_$suite.json" >&2
+        exit 1
+    fi
+done
+
+echo "bench: OK — artifacts in results/bench/"
+ls -l "$OUT_DIR"/BENCH_*.json

@@ -20,6 +20,11 @@ cargo test -q --offline --release --test fault_tolerance
 cargo test -q --offline --release --test determinism
 cargo test -q -p tp-io --offline --release --test parser_fuzz
 
+echo "== tier1: observability suite (release) =="
+cargo test -q -p tp-obs --offline --release
+cargo test -q -p tp-obs --offline --release --test golden
+cargo test -q --offline --release --test observability
+
 echo "== tier1: clippy (warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
@@ -35,5 +40,28 @@ if grep -rEn 'extern crate|use (rand|proptest|criterion|tempfile|serde)\b|(^|[^_
     echo "tier1: FAIL — external crate usage found in sources above" >&2
     exit 1
 fi
+
+echo "== tier1: hermeticity (tp-obs stays dependency-free) =="
+if grep -n '^\[dependencies\]' crates/obs/Cargo.toml; then
+    echo "tier1: FAIL — tp-obs must not grow a [dependencies] section" >&2
+    exit 1
+fi
+
+echo "== tier1: observability artifacts (none by default, all under TP_OBS) =="
+OBS_SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$OBS_SCRATCH"' EXIT
+PROFILE_RUN="$PWD/target/release/examples/profile_run"
+( cd "$OBS_SCRATCH" && "$PROFILE_RUN" 0.001 1 >/dev/null 2>&1 )
+if [ -n "$(ls -A "$OBS_SCRATCH")" ]; then
+    echo "tier1: FAIL — uninstrumented run wrote files: $(ls -A "$OBS_SCRATCH")" >&2
+    exit 1
+fi
+( cd "$OBS_SCRATCH" && TP_OBS=trace "$PROFILE_RUN" 0.001 1 >/dev/null 2>&1 )
+for artifact in trace.json events.jsonl run_report.json; do
+    if [ ! -s "$OBS_SCRATCH/$artifact" ]; then
+        echo "tier1: FAIL — TP_OBS=trace run did not write $artifact" >&2
+        exit 1
+    fi
+done
 
 echo "tier1: OK"

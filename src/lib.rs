@@ -12,3 +12,4 @@ pub use tp_route as route;
 pub use tp_sta as sta;
 pub use tp_tensor as tensor;
 pub use tp_nn as nn;
+pub use tp_obs as obs;

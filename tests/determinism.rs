@@ -150,6 +150,56 @@ fn kill_and_resume_is_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Instrumentation must not perturb the numbers: a run with the tp-obs
+/// collector recording every span/metric is bit-identical to the
+/// uninstrumented run, and recording alone writes no files — artifacts
+/// only exist when an exporter is explicitly invoked.
+#[test]
+fn observability_on_is_bit_identical_and_writes_nothing() {
+    let seed = seed_from_env("TP_SEED", 42);
+    let (h_off, p_off) = run(seed);
+
+    let dir = std::env::temp_dir().join(format!("tp-obs-noartifacts-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let cwd = std::env::current_dir().expect("cwd");
+    std::env::set_current_dir(&dir).expect("enter scratch dir");
+
+    timing_predict::obs::reset();
+    timing_predict::obs::enable();
+    let (h_on, p_on) = run(seed);
+    timing_predict::obs::disable();
+    let data = timing_predict::obs::drain();
+
+    std::env::set_current_dir(&cwd).expect("restore cwd");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scratch dir readable")
+        .map(|e| e.expect("dir entry").file_name())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "recording without an exporter must write nothing, found {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        !data.events.is_empty(),
+        "the instrumented run must actually have recorded spans"
+    );
+    for (a, b) in h_off.iter().zip(&h_on) {
+        assert_eq!(a.total.to_bits(), b.total.to_bits(), "epoch {}", a.epoch);
+        assert_eq!(a.atslew.to_bits(), b.atslew.to_bits(), "epoch {}", a.epoch);
+        assert_eq!(a.celld.to_bits(), b.celld.to_bits(), "epoch {}", a.epoch);
+        assert_eq!(a.netd.to_bits(), b.netd.to_bits(), "epoch {}", a.epoch);
+    }
+    let bits = |t: &timing_predict::tensor::Tensor| -> Vec<u32> {
+        t.to_vec().iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(bits(&p_off.arrival), bits(&p_on.arrival));
+    assert_eq!(bits(&p_off.slew), bits(&p_on.slew));
+    assert_eq!(bits(&p_off.net_delay), bits(&p_on.net_delay));
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the test above is not vacuous: a different seed
