@@ -117,10 +117,12 @@ impl DecisionTree {
         let base_sse = total_sq - total_sum * total_sum / n;
         for &f in &feats {
             let mut order: Vec<usize> = indices.clone();
+            // total_cmp keeps the split search deterministic even when a
+            // feature value is NaN (it sorts after every finite value);
+            // the partial_cmp-or-Equal fallback made the order depend on
+            // how the sort happened to compare elements.
             order.sort_by(|&a, &b| {
-                x[a * self.num_features + f]
-                    .partial_cmp(&x[b * self.num_features + f])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                x[a * self.num_features + f].total_cmp(&x[b * self.num_features + f])
             });
             let mut left_sum = 0.0f64;
             let mut left_sq = 0.0f64;
@@ -351,5 +353,29 @@ mod tests {
     fn empty_fit_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = DecisionTree::fit(&[], &[], 2, &toy_config(), &mut rng);
+    }
+
+    #[test]
+    fn nan_feature_cannot_reorder_splits_between_runs() {
+        // A NaN feature value must not make the split-search sort order
+        // (and therefore the fitted trees) run-dependent: two fits over
+        // the same data are byte-for-byte the same predictor.
+        let (mut x, y) = toy_data(120);
+        x[31 * 2] = f32::NAN; // poison one x0 value
+        x[77 * 2 + 1] = f32::NAN; // and one x1 value
+        let fit = || RandomForest::fit(&x, &y, 2, &toy_config());
+        let (fa, fb) = (fit(), fit());
+        let probe: Vec<[f32; 2]> =
+            (0..25).map(|i| [i as f32 / 25.0, (i * 7 % 25) as f32 / 25.0]).collect();
+        for row in &probe {
+            let (pa, pb) = (fa.predict(row), fb.predict(row));
+            assert_eq!(pa.to_bits(), pb.to_bits(), "prediction differs at {row:?}");
+        }
+        // The forest still learned something despite the poisoned cells.
+        let preds = fa.predict_batch(&x);
+        let mean = y.iter().sum::<f32>() / y.len() as f32;
+        let sse: f32 = preds.iter().zip(&y).map(|(p, t)| (p - t).powi(2)).sum();
+        let sst: f32 = y.iter().map(|t| (t - mean).powi(2)).sum();
+        assert!(sse < sst, "forest must beat the constant predictor");
     }
 }

@@ -62,7 +62,12 @@ fn env_u64(key: &str, default: u64) -> u64 {
 
 impl Suite {
     /// Creates a suite; `name` becomes the `BENCH_<name>.json` stem.
+    ///
+    /// Also installs the `par.*` metrics bridge so parallel regions inside
+    /// benchmarked code are observable (first install wins; harmless if an
+    /// observer is already in place).
     pub fn new(name: &str) -> Suite {
+        let _ = tp_gnn::install_par_metrics();
         let fast = std::env::var("TP_BENCH_FAST").is_ok();
         let (samples, min_ms) = if fast { (3, 2) } else { (11, 20) };
         Suite {
@@ -152,7 +157,7 @@ impl Suite {
                 samples: r.samples,
             })
             .collect();
-        tp_obs::export::bench_json(&self.name, &entries)
+        tp_obs::export::bench_json(&self.name, tp_par::threads(), &entries)
     }
 
     /// Prints the summary table and writes `BENCH_<suite>.json` into
@@ -175,7 +180,7 @@ impl Suite {
             })
             .collect();
         crate::print_table(
-            &format!("bench: {}", self.name),
+            &format!("bench: {} ({} threads)", self.name, tp_par::threads()),
             &["benchmark", "median", "min", "max"],
             &rows,
         );

@@ -44,6 +44,7 @@
 pub mod checkpoint;
 pub mod faultinject;
 mod loss;
+mod parbridge;
 mod lutmod;
 mod model;
 mod netconv;
@@ -57,6 +58,7 @@ pub use loss::{combined_loss, AuxMode, LossParts};
 pub use lutmod::LutModule;
 pub use model::{Ablation, ModelConfig, Prediction, TimingGnn};
 pub use netconv::{NetConv, NetEmbed};
+pub use parbridge::install_par_metrics;
 pub use plan::{EdgeGroup, LevelPlan, PropPlan};
 pub use prop::Propagation;
 pub use train::{

@@ -1,0 +1,48 @@
+//! Bridges `tp-par` region statistics into `tp-obs` metrics.
+//!
+//! `tp-par` sits at the bottom of the crate graph and must stay
+//! dependency-free, so it only exposes a function-pointer observer hook.
+//! This crate depends on both sides and wires them together: call
+//! [`install_par_metrics`] once near process start (the bench harness and
+//! the profiling example do) and every parallel region records
+//!
+//! - `par.regions` — regions executed,
+//! - `par.chunks` — chunks scheduled across all regions,
+//! - `par.items` — items covered across all regions,
+//! - `par.chunk_items` — histogram of chunk sizes,
+//! - `par.imbalance_pct` — histogram of per-region chunk imbalance,
+//!   `(max − min) · 100 / max` (static chunking keeps this near zero).
+
+/// The observer registered with [`tp_par::set_observer`].
+fn record_region(stats: &tp_par::RegionStats) {
+    if !tp_obs::is_enabled() {
+        return;
+    }
+    tp_obs::metrics::count("par.regions", 1);
+    tp_obs::metrics::count("par.chunks", stats.chunks as u64);
+    tp_obs::metrics::count("par.items", stats.items as u64);
+    tp_obs::metrics::observe("par.chunk_items", stats.max_chunk as u64);
+    let spread = (stats.max_chunk - stats.min_chunk) * 100;
+    let imbalance = spread.checked_div(stats.max_chunk).unwrap_or(0) as u64;
+    tp_obs::metrics::observe("par.imbalance_pct", imbalance);
+}
+
+/// Installs the `par.*` metrics observer (idempotent; returns whether this
+/// call was the one that installed it — `false` means an observer was
+/// already in place, which is fine).
+pub fn install_par_metrics() -> bool {
+    tp_par::set_observer(record_region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent() {
+        // First call may or may not win depending on test order; the
+        // second call must report already-installed.
+        let _ = install_par_metrics();
+        assert!(!install_par_metrics());
+    }
+}

@@ -1,4 +1,12 @@
 //! The levelized delay-propagation stage (paper Sec. 3.3.2, Fig. 3).
+//!
+//! Parallelism note: each level's node-group batch is evaluated as a
+//! handful of dense MLP matmuls over every pin in the level at once, and
+//! those matmuls split by output row across `tp-par` workers inside
+//! tp-tensor. That is the right grain here — the per-level tensors are
+//! wide, while the level loop itself carries a sequential dependency (a
+//! level reads the states the previous level wrote), so the loop stays
+//! serial and the kernels underneath fan out.
 
 use tp_rng::StdRng;
 use tp_data::{DesignGraph, PIN_FEATURES};

@@ -12,6 +12,15 @@
 //!   rate backs off, and the retry is recorded in the [`TrainReport`];
 //! - **graceful degradation** — designs failing `DesignGraph::validate`
 //!   are skipped and reported instead of poisoning the epoch.
+//!
+//! **Threading model.** The design loop here is intentionally serial:
+//! [`Tensor`] autograd graphs are `Rc`-based (not `Send`), Adam updates
+//! every parameter between designs, and gradients must accumulate in
+//! design order for bit-identical runs. Training instead parallelizes one
+//! layer down — the dense matmuls behind every forward/backward pass split
+//! by output row across `tp-par` workers (see DESIGN.md §8), which keeps
+//! per-row accumulation order fixed so loss trajectories and checkpoints
+//! are bit-identical at any `TP_THREADS`.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -200,7 +209,8 @@ impl TrainReport {
             .config("lr", config.lr)
             .config("grad_clip", config.grad_clip)
             .config("lr_floor", config.lr_floor)
-            .config("aux", format!("{:?}", config.aux));
+            .config("aux", format!("{:?}", config.aux))
+            .config("threads", tp_par::threads());
         let epochs: Vec<String> = self
             .epochs
             .iter()

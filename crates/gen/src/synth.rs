@@ -195,14 +195,18 @@ pub fn generate(spec: &BenchmarkSpec, library: &Library, config: &GeneratorConfi
 
 /// Generates the full 21-design suite, returning `(spec, circuit)` pairs in
 /// Table-1 order.
+///
+/// Each design's RNG is seeded from `config.seed` and its own name, so the
+/// designs are independent and generate as a tp-par ordered map — the suite
+/// is identical at any thread count.
 pub fn generate_suite(
     library: &Library,
     config: &GeneratorConfig,
 ) -> Vec<(&'static BenchmarkSpec, Circuit)> {
-    crate::BENCHMARKS
-        .iter()
-        .map(|spec| (spec, generate(spec, library, config)))
-        .collect()
+    let circuits = tp_par::map_items(crate::BENCHMARKS.len(), |i| {
+        generate(&crate::BENCHMARKS[i], library, config)
+    });
+    crate::BENCHMARKS.iter().zip(circuits).collect()
 }
 
 /// Convenience filter over [`generate_suite`] output.

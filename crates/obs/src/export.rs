@@ -155,10 +155,12 @@ pub struct BenchEntry {
 /// This is the single source of truth for that layout —
 /// `tp_bench::micro::Suite::to_json` delegates here, so trace-derived
 /// timings and micro-bench timings stay byte-compatible for downstream
-/// tooling.
-pub fn bench_json(suite: &str, entries: &[BenchEntry]) -> String {
+/// tooling. `threads` records the `tp-par` worker count the suite ran
+/// under, so single- and multi-thread artifacts are distinguishable.
+pub fn bench_json(suite: &str, threads: usize, entries: &[BenchEntry]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"suite\": {},\n", escape(suite)));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"results\": [\n");
     for (i, r) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -211,10 +213,11 @@ pub fn write_jsonl(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
 pub fn write_bench_json(
     dir: &Path,
     suite: &str,
+    threads: usize,
     entries: &[BenchEntry],
 ) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("BENCH_{suite}.json"));
-    write_file(&path, &bench_json(suite, entries))?;
+    write_file(&path, &bench_json(suite, threads, entries))?;
     Ok(path)
 }
 
@@ -311,9 +314,10 @@ mod tests {
             iters_per_sample: 10,
             samples: 3,
         }];
-        let j = bench_json("json\"test", &entries);
+        let j = bench_json("json\"test", 4, &entries);
         crate::json::validate(&j).unwrap();
         assert!(j.contains("\"suite\": \"json\\\"test\""));
+        assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("\"name\": \"a\\\\b\""));
         assert!(j.contains("\"median_ns\": 1.5"));
     }

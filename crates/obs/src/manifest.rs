@@ -44,13 +44,18 @@ pub struct RunReport {
 impl RunReport {
     /// Builds a report from drained observability data.
     ///
-    /// Phases are the spans at the *minimum depth present* in the event
-    /// stream, grouped by name in first-seen order — for a `fit_with` run
-    /// those are the `epoch` spans, whose durations cover (nearly) the
-    /// whole run, so phase totals sum to within a few percent of
-    /// `total_wall_ns`.
+    /// Phases are the main thread's (`tid == 0`) spans at the *minimum
+    /// depth present* on that thread, grouped by name in first-seen order —
+    /// for a `fit_with` run those are the `epoch` spans, whose durations
+    /// cover (nearly) the whole run, so phase totals sum to within a few
+    /// percent of `total_wall_ns`. `tp-par` worker threads open their own
+    /// depth-0 spans concurrently with the main thread's; counting those
+    /// would double-charge wall time, so only tid 0 aggregates.
     pub fn from_obs(run: &str, seed: u64, total_wall_ns: u64, data: &ObsData) -> RunReport {
-        let spans = data.events.iter().filter(|e| e.kind == EventKind::Span);
+        let spans = data
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.tid == 0);
         let min_depth = spans.clone().map(|e| e.depth).min().unwrap_or(0);
         let mut phases: Vec<PhaseSummary> = Vec::new();
         for e in spans.filter(|e| e.depth == min_depth) {

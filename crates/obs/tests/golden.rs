@@ -155,7 +155,7 @@ fn bench_json_matches_golden() {
             samples: 3,
         },
     ];
-    let json = bench_json("train", &entries);
+    let json = bench_json("train", 1, &entries);
     tp_obs::json::validate(&json).unwrap();
     check_golden("BENCH_train.json", &json);
 }

@@ -1,0 +1,718 @@
+//! A deterministic scoped fork-join thread pool (std-only, zero deps).
+//!
+//! `tp-par` parallelizes the workspace's hot loops — levelized STA sweeps,
+//! per-net routing, per-design generation, dense matmul — without giving up
+//! the hermetic-determinism guarantee `tests/determinism.rs` enforces. The
+//! design is shaped by one contract:
+//!
+//! > **Every result is bit-identical at any thread count.**
+//!
+//! Three rules make that possible:
+//!
+//! 1. **Static chunking.** Chunk boundaries are a pure function of the
+//!    input length and the configured thread count ([`chunk_ranges`]) —
+//!    never of scheduling. Workers *claim* chunks dynamically (an atomic
+//!    counter), but which items form a chunk is fixed up front.
+//! 2. **Ordered merge.** [`map_items`]/[`map_chunks`] write each result
+//!    into its own pre-allocated slot and hand the vector back in index
+//!    order, so no output ever depends on which worker finished first.
+//! 3. **Ordered reduction.** Parallel regions do independent per-item work;
+//!    any floating-point fold either stays serial in index order or uses
+//!    [`reduce_blocks`], whose block size is a caller-fixed constant
+//!    (independent of the thread count) folded in block-index order.
+//!
+//! The worker count comes from `TP_THREADS` (default:
+//! `std::thread::available_parallelism`), overridable at runtime with
+//! [`set_threads`] so one process can compare thread counts (the
+//! determinism tests do exactly that). `TP_THREADS=1` runs every region
+//! inline — the pure serial baseline.
+//!
+//! Panics in a worker are captured and re-raised on the submitting thread
+//! ([`std::panic::resume_unwind`]); every lock acquisition recovers from
+//! poisoning (`PoisonError::into_inner`), so a panicking region leaves the
+//! pool usable — there is no state to corrupt beyond the job that died.
+//!
+//! Nested parallel regions (a worker calling back into `tp-par`) run
+//! inline on the worker; fork-join nesting never deadlocks on pool
+//! capacity.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Poison-safe lock: a panic while holding the mutex must not take the
+/// pool down with it — the protected state (a work queue, a panic slot)
+/// is always valid at rest.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// Runtime override installed by [`set_threads`]; 0 means "use the
+/// environment default".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("TP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// The effective worker count: the [`set_threads`] override if one is
+/// active, else `TP_THREADS`, else `available_parallelism`.
+///
+/// This is the count chunk boundaries are derived from — but note that by
+/// the determinism contract its value never changes any numeric result,
+/// only how the work is cut up.
+pub fn threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker count at runtime (`0` clears the override and
+/// returns to the `TP_THREADS`/`available_parallelism` default).
+///
+/// Exists so a single process can prove the determinism contract by
+/// running the same workload at different thread counts; production code
+/// should configure `TP_THREADS` instead.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic chunking
+// ---------------------------------------------------------------------------
+
+/// Splits `0..len` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one (the first `len % parts` ranges get the extra
+/// item). A pure function of its arguments — the determinism contract's
+/// "static chunking" rule.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let q = len / parts;
+    let r = len % parts;
+    (0..parts)
+        .map(|c| {
+            let start = c * q + c.min(r);
+            let end = start + q + usize::from(c < r);
+            start..end
+        })
+        .collect()
+}
+
+/// [`split_ranges`] at the current [`threads`] count.
+pub fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
+    split_ranges(len, threads())
+}
+
+// ---------------------------------------------------------------------------
+// Region observer (tp-obs bridge without a tp-obs dependency)
+// ---------------------------------------------------------------------------
+
+/// Shape of one executed parallel region, reported to the observer hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Total items the region covered.
+    pub items: usize,
+    /// Number of chunks the items were split into.
+    pub chunks: usize,
+    /// Smallest chunk, in items.
+    pub min_chunk: usize,
+    /// Largest chunk, in items (max − min ≤ 1 by construction; the hook
+    /// records it anyway so the invariant is observable).
+    pub max_chunk: usize,
+}
+
+static OBSERVER: OnceLock<fn(&RegionStats)> = OnceLock::new();
+
+/// Installs a process-wide region observer (first caller wins; returns
+/// whether this call installed it). tp-par has no dependencies, so the
+/// tp-obs `par.*` metrics bridge lives in a crate that sees both and
+/// registers itself here.
+pub fn set_observer(hook: fn(&RegionStats)) -> bool {
+    OBSERVER.set(hook).is_ok()
+}
+
+fn observe(items: usize, ranges: &[Range<usize>]) {
+    if let Some(hook) = OBSERVER.get() {
+        let mut min_chunk = usize::MAX;
+        let mut max_chunk = 0usize;
+        for r in ranges {
+            min_chunk = min_chunk.min(r.len());
+            max_chunk = max_chunk.max(r.len());
+        }
+        hook(&RegionStats {
+            items,
+            chunks: ranges.len(),
+            min_chunk: if ranges.is_empty() { 0 } else { min_chunk },
+            max_chunk,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// One submitted fork-join region. Workers (and the submitting thread)
+/// claim chunk indices from `next` until exhausted; the last finisher
+/// flips `done`.
+struct Job {
+    /// Type- and lifetime-erased chunk body. Only dereferenced for chunk
+    /// indices `< chunks`, all of which complete before `execute` returns,
+    /// so the pointee outlives every dereference. Stale queue entries
+    /// popped later see `next >= chunks` and never touch it.
+    func: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+    next: AtomicUsize,
+    finished: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `func` is only dereferenced while the submitting thread blocks
+// in `execute`, which keeps the closure (and everything it borrows) alive;
+// all other fields are Sync synchronization primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until none remain. Called by workers and by
+    /// the submitting thread (which participates instead of idling).
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks {
+                return;
+            }
+            // SAFETY: i < chunks, so the submitter is still blocked in
+            // `execute` and the closure is alive (see `func` docs).
+            let f = unsafe { &*self.func };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                let mut slot = lock_recover(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.chunks {
+                *lock_recover(&self.done) = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+thread_local! {
+    /// Set inside pool workers so nested regions run inline instead of
+    /// re-entering the pool (fork-join nesting must never deadlock).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+impl Pool {
+    /// Lazily grows the worker set to `target` threads; returns how many
+    /// actually exist (spawn failure degrades to fewer helpers — the
+    /// submitting thread completes any job on its own regardless).
+    fn ensure_workers(&'static self, target: usize) -> usize {
+        let mut n = lock_recover(&self.spawned);
+        while *n < target {
+            let spawned = std::thread::Builder::new()
+                .name(format!("tp-par-{}", *n))
+                .spawn(|| self.worker_loop())
+                .is_ok();
+            if !spawned {
+                break;
+            }
+            *n += 1;
+        }
+        *n
+    }
+
+    fn worker_loop(&self) {
+        IN_WORKER.with(|w| w.set(true));
+        loop {
+            let job = {
+                let mut q = lock_recover(&self.queue);
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self
+                        .queue_cv
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            job.run();
+        }
+    }
+}
+
+/// Runs `f(0), f(1), …, f(chunks-1)`, each exactly once, possibly on pool
+/// workers. Blocks until all chunks finish; re-raises the first captured
+/// panic on the calling thread.
+fn execute(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if chunks == 0 {
+        return;
+    }
+    let serial = chunks == 1 || threads() <= 1 || IN_WORKER.with(|w| w.get());
+    if serial {
+        for i in 0..chunks {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    let helpers = pool.ensure_workers(threads() - 1).min(chunks - 1);
+    if helpers == 0 {
+        for i in 0..chunks {
+            f(i);
+        }
+        return;
+    }
+    // SAFETY: lifetime erasure only; `execute` does not return until every
+    // chunk has completed, so the 'static claim is never observable.
+    let func: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+    };
+    let job = Arc::new(Job {
+        func,
+        chunks,
+        next: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = lock_recover(&pool.queue);
+        for _ in 0..helpers {
+            q.push_back(job.clone());
+        }
+    }
+    pool.queue_cv.notify_all();
+    job.run(); // the submitter works too
+    let mut done = lock_recover(&job.done);
+    while !*done {
+        done = job.done_cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(done);
+    let payload = lock_recover(&job.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// High-level API
+// ---------------------------------------------------------------------------
+
+/// Runs `f(chunk_index, item_range)` over the deterministic chunking of
+/// `0..len`. Chunks run concurrently; the call returns when all finish.
+///
+/// # Panics
+///
+/// Re-raises the first panic any chunk raised.
+pub fn for_each_chunk<F>(len: usize, f: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let ranges = chunk_ranges(len);
+    if ranges.is_empty() {
+        return;
+    }
+    observe(len, &ranges);
+    let ranges = &ranges;
+    execute(ranges.len(), &|c| f(c, ranges[c].clone()));
+}
+
+/// Slot vector the chunks write into; disjoint indices, merged in order.
+struct Slots<'a, R>(&'a [UnsafeCell<Option<R>>]);
+
+// SAFETY: chunk ranges are disjoint, so no two threads ever touch the
+// same slot; `R: Send` lets the value cross back to the submitter.
+unsafe impl<R: Send> Sync for Slots<'_, R> {}
+
+impl<R> Slots<'_, R> {
+    /// Stores `value` into slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread writing slot `i` (guaranteed by
+    /// tp-par's disjoint chunk ranges). A method rather than field access
+    /// so closures capture the whole `Slots` (whose `Sync` impl carries
+    /// the disjointness argument), not the raw slice.
+    unsafe fn set(&self, i: usize, value: R) {
+        *self.0[i].get() = Some(value);
+    }
+}
+
+/// Parallel ordered map: returns `[f(0), f(1), …, f(len-1)]`.
+///
+/// Each item's result is written to its own slot and the vector is
+/// assembled in index order — the output is independent of scheduling,
+/// which is what makes parallel regions bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Re-raises the first panic any item raised.
+pub fn map_items<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let slots: Vec<UnsafeCell<Option<R>>> = std::iter::repeat_with(|| UnsafeCell::new(None))
+        .take(len)
+        .collect();
+    {
+        let shared = Slots(&slots);
+        for_each_chunk(len, |_, range| {
+            for i in range {
+                // SAFETY: `i` belongs to exactly one chunk (disjoint
+                // ranges), so this is the only writer of slot `i`.
+                unsafe { shared.set(i, f(i)) };
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every chunk fills its slots"))
+        .collect()
+}
+
+/// Parallel ordered map over chunks: returns one `f(chunk_index, range)`
+/// result per chunk, in chunk-index order.
+///
+/// # Panics
+///
+/// Re-raises the first panic any chunk raised.
+pub fn map_chunks<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    let n_chunks = chunk_ranges(len).len();
+    let slots: Vec<UnsafeCell<Option<R>>> = std::iter::repeat_with(|| UnsafeCell::new(None))
+        .take(n_chunks)
+        .collect();
+    {
+        let shared = Slots(&slots);
+        for_each_chunk(len, |c, range| {
+            // SAFETY: one writer per chunk slot.
+            unsafe { shared.set(c, f(c, range)) };
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every chunk fills its slot"))
+        .collect()
+}
+
+/// Deterministic parallel reduction: maps fixed-size blocks of `block_len`
+/// items in parallel, then folds the block results serially in block-index
+/// order. Returns `None` when `len == 0`.
+///
+/// Because the block size is a caller-supplied constant — *not* derived
+/// from the thread count — the floating-point association order is
+/// identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `block_len == 0`; re-raises the first panic any block raised.
+pub fn reduce_blocks<R, M, F>(len: usize, block_len: usize, map: M, fold: F) -> Option<R>
+where
+    R: Send,
+    M: Fn(Range<usize>) -> R + Sync,
+    F: FnMut(R, R) -> R,
+{
+    assert!(block_len > 0, "reduce_blocks needs a positive block length");
+    let blocks = len.div_ceil(block_len);
+    let partials = map_items(blocks, |b| {
+        map(b * block_len..((b + 1) * block_len).min(len))
+    });
+    partials.into_iter().reduce(fold)
+}
+
+/// Raw base pointer of a mutable slice, shareable because each chunk
+/// reslices a disjoint row range.
+struct RawRows<T>(*mut T);
+
+// SAFETY: chunks address disjoint row ranges of the same allocation.
+unsafe impl<T: Send> Sync for RawRows<T> {}
+
+impl<T> RawRows<T> {
+    /// Base pointer accessor — a method so closures capture the `RawRows`
+    /// wrapper (and its `Sync` justification), not the bare pointer.
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Chunks a mutable `[rows × width]` buffer by rows and runs
+/// `f(chunk_index, row_range, rows_slice)` per chunk, where `rows_slice`
+/// is the mutable sub-slice holding exactly those rows. The disjoint-rows
+/// split is what lets dense kernels (matmul) fill one output concurrently.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `data.len()` is not a multiple of `width`;
+/// re-raises the first panic any chunk raised.
+pub fn for_each_rows_mut<T, F>(data: &mut [T], width: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    assert!(width > 0, "row width must be positive");
+    assert_eq!(data.len() % width, 0, "data must be whole rows");
+    let rows = data.len() / width;
+    let ranges = chunk_ranges(rows);
+    if ranges.is_empty() {
+        return;
+    }
+    observe(rows, &ranges);
+    if ranges.len() == 1 {
+        f(0, 0..rows, data);
+        return;
+    }
+    let base = RawRows(data.as_mut_ptr());
+    let ranges = &ranges;
+    execute(ranges.len(), &|c| {
+        let r = ranges[c].clone();
+        // SAFETY: row ranges are disjoint and in-bounds, so each chunk
+        // gets an exclusive sub-slice of `data`.
+        let rows_slice = unsafe {
+            std::slice::from_raw_parts_mut(base.ptr().add(r.start * width), r.len() * width)
+        };
+        f(c, r, rows_slice);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that flip the global thread-count override. The
+    /// override is numerically inert (that is the whole contract) but
+    /// tests asserting on `threads()` itself need exclusive access.
+    fn override_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        lock_recover(&LOCK)
+    }
+
+    #[test]
+    fn split_ranges_is_balanced_and_exhaustive() {
+        for len in [0usize, 1, 2, 7, 16, 100, 1023] {
+            for parts in [1usize, 2, 3, 4, 7, 64] {
+                let ranges = split_ranges(len, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} parts={parts}");
+                // contiguous and ordered
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor);
+                    cursor = r.end;
+                }
+                // balanced to within one item
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1, "len={len} parts={parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_items_preserves_order() {
+        let _guard = override_lock();
+        set_threads(4);
+        let out = map_items(1000, |i| i * i);
+        set_threads(0);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_float_bits() {
+        let _guard = override_lock();
+        let work = |i: usize| {
+            let mut acc = 0.1f32 * (i as f32 + 1.0);
+            for k in 1..50u32 {
+                acc = (acc * 1.0000117 + (k as f32).sin()).fract();
+            }
+            acc
+        };
+        set_threads(1);
+        let serial: Vec<u32> = map_items(777, work).iter().map(|v| v.to_bits()).collect();
+        set_threads(4);
+        let parallel: Vec<u32> = map_items(777, work).iter().map(|v| v.to_bits()).collect();
+        set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn reduce_blocks_matches_serial_fold_at_any_thread_count() {
+        let _guard = override_lock();
+        let vals: Vec<f32> = (0..1003).map(|i| (i as f32).sqrt() * 0.37).collect();
+        let run = || {
+            reduce_blocks(
+                vals.len(),
+                64,
+                |r| r.map(|i| vals[i]).fold(0.0f32, |a, b| a + b),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        set_threads(1);
+        let one = run().to_bits();
+        set_threads(4);
+        let four = run().to_bits();
+        set_threads(0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn rows_mut_fills_every_row_exactly_once() {
+        let _guard = override_lock();
+        set_threads(4);
+        let mut data = vec![0u64; 97 * 5];
+        for_each_rows_mut(&mut data, 5, |_, rows, slice| {
+            for (local, row) in rows.clone().enumerate() {
+                for k in 0..5 {
+                    slice[local * 5 + k] += (row * 5 + k) as u64 + 1;
+                }
+            }
+        });
+        set_threads(0);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1, "row-major cell {i}");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let _guard = override_lock();
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            map_items(100, |i| {
+                if i == 63 {
+                    panic!("boom at 63");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("the region must panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom at 63");
+        // The pool must still schedule work after a panicked region.
+        let out = map_items(100, |i| i + 1);
+        set_threads(0);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn nested_regions_run_inline_without_deadlock() {
+        let _guard = override_lock();
+        set_threads(4);
+        let out = map_items(8, |i| map_items(8, move |j| i * 8 + j).iter().sum::<usize>());
+        set_threads(0);
+        let expect: usize = (0..64).sum();
+        assert_eq!(out.iter().sum::<usize>(), expect);
+    }
+
+    #[test]
+    fn set_threads_overrides_and_resets() {
+        let _guard = override_lock();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        assert_eq!(chunk_ranges(9).len(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn map_chunks_is_ordered_by_chunk() {
+        let _guard = override_lock();
+        set_threads(4);
+        let sums = map_chunks(100, |_, r| r.clone().sum::<usize>());
+        set_threads(0);
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        // chunk order, not completion order: starts are ascending
+        let ranges = split_ranges(100, 4);
+        for (s, r) in sums.iter().zip(&ranges) {
+            assert_eq!(*s, r.clone().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn observer_sees_region_shape() {
+        static ITEMS: AtomicU64 = AtomicU64::new(0);
+        fn hook(s: &RegionStats) {
+            assert!(s.max_chunk - s.min_chunk <= 1, "static chunking is balanced");
+            ITEMS.fetch_add(s.items as u64, Ordering::Relaxed);
+        }
+        // First install wins; either way a hook observing regions exists.
+        let _ = set_observer(hook);
+        let before = ITEMS.load(Ordering::Relaxed);
+        let _ = map_items(500, |i| i);
+        let after = ITEMS.load(Ordering::Relaxed);
+        if set_observer(hook) {
+            unreachable!("set_observer cannot succeed twice");
+        }
+        // Only assert when our hook is the installed one.
+        if OBSERVER.get() == Some(&(hook as fn(&RegionStats))) {
+            assert!(after >= before + 500);
+        }
+    }
+
+    #[test]
+    fn zero_len_regions_are_no_ops() {
+        assert!(map_items(0, |i| i).is_empty());
+        assert!(chunk_ranges(0).is_empty());
+        for_each_chunk(0, |_, _| panic!("must not run"));
+        let mut empty: Vec<f32> = Vec::new();
+        for_each_rows_mut(&mut empty, 4, |_, _, _| panic!("must not run"));
+        assert_eq!(reduce_blocks(0, 8, |_| 1u32, |a, b| a + b), None);
+    }
+}

@@ -169,7 +169,16 @@ pub fn route_net(
     }
 }
 
+/// How many nets a circuit must hold before routing fans out to tp-par.
+/// Only selects serial vs parallel — each net's result is identical either
+/// way, so the threshold cannot change any number.
+const PAR_MIN_NETS: usize = 16;
+
 /// Routes every net of `circuit`.
+///
+/// Nets are independent (each reads only circuit/placement/library), so
+/// they route as a tp-par ordered map; the wirelength total folds serially
+/// in net-id order, keeping the sum bit-identical at any thread count.
 ///
 /// # Panics
 ///
@@ -181,16 +190,21 @@ pub fn route_circuit(
     config: &RoutingConfig,
 ) -> Routing {
     let _route_span = tp_obs::span!("route.circuit", nets = circuit.num_nets());
-    let sink_hist = tp_obs::is_enabled().then(|| tp_obs::metrics::histogram("route.net_sinks"));
-    let nets: Vec<RoutedNet> = circuit
-        .net_ids()
-        .map(|n| {
-            if let Some(h) = &sink_hist {
-                h.record(circuit.net(n).sinks.len() as u64);
-            }
-            route_net(circuit, placement, library, config, n)
+    if let Some(h) = tp_obs::is_enabled().then(|| tp_obs::metrics::histogram("route.net_sinks")) {
+        for n in circuit.net_ids() {
+            h.record(circuit.net(n).sinks.len() as u64);
+        }
+    }
+    let nets: Vec<RoutedNet> = if circuit.num_nets() >= PAR_MIN_NETS && tp_par::threads() > 1 {
+        tp_par::map_items(circuit.num_nets(), |i| {
+            route_net(circuit, placement, library, config, NetId::new(i))
         })
-        .collect();
+    } else {
+        circuit
+            .net_ids()
+            .map(|n| route_net(circuit, placement, library, config, n))
+            .collect()
+    };
     tp_obs::metrics::count("route.nets_routed", nets.len() as u64);
     let total_wirelength = nets.iter().map(|n| n.wirelength).sum();
     Routing {

@@ -1,4 +1,12 @@
 //! Levelized forward/backward propagation.
+//!
+//! Pins within one topological level have no edges between them (proved by
+//! `levels_have_no_internal_edges` in tp-graph), so each level is a
+//! parallel map: big levels fan out across `tp-par` workers, computing
+//! every pin's update from the immutable previous state and applying the
+//! results in level order. Per-pin arithmetic is identical to the serial
+//! sweep — same fan-in/fan-out fold order — so reports are bit-identical
+//! at any thread count.
 
 use tp_graph::{Circuit, EdgeRef, PinKind, Topology};
 use tp_liberty::{Corner, Library};
@@ -86,16 +94,27 @@ impl<'a> StaEngine<'a> {
             let _fwd_span = tp_obs::span!("sta.forward", pins = n);
             for level in topology.levels() {
                 tp_obs::metrics::count("sta.pins_propagated", level.len() as u64);
-                for &pin in level {
-                    self.propagate_pin(
-                        circuit,
-                        topology,
-                        routing,
-                        pin,
-                        &mut at,
-                        &mut slew,
-                        &mut cell_edge_delay,
-                    );
+                if level.len() >= PAR_MIN_PINS && tp_par::threads() > 1 {
+                    // Compute every pin of the level from the immutable
+                    // lower-level state, then apply in level order.
+                    let updates = tp_par::map_items(level.len(), |i| {
+                        self.compute_pin(circuit, topology, routing, level[i], &at, &slew)
+                    });
+                    for (&pin, update) in level.iter().zip(updates) {
+                        apply_update(pin, update, &mut at, &mut slew, &mut cell_edge_delay);
+                    }
+                } else {
+                    for &pin in level {
+                        self.propagate_pin(
+                            circuit,
+                            topology,
+                            routing,
+                            pin,
+                            &mut at,
+                            &mut slew,
+                            &mut cell_edge_delay,
+                        );
+                    }
                 }
             }
         }
@@ -142,35 +161,34 @@ impl<'a> StaEngine<'a> {
                 rat[ep.index()][k] = v;
             }
         }
-        for &pin in topology.topo_order().iter().rev() {
-            for &er in topology.fanout(pin) {
-                match er {
-                    EdgeRef::Net(eid) => {
-                        let e = circuit.net_edge(eid);
-                        for c in Corner::ALL {
-                            let k = c.index();
-                            let cand = rat[e.sink.index()][k] - net_edge_delay[eid.index()][k];
-                            reduce_rat(&mut rat[pin.index()][k], cand, c);
-                        }
-                    }
-                    EdgeRef::Cell(eid) => {
-                        let e = circuit.cell_edge(eid);
-                        let cd = circuit.cell(e.cell);
-                        let ct = self.library.cell(cd.type_id);
-                        let arc = &ct.arcs[e.input_index as usize];
-                        for c in Corner::ALL {
-                            // arrival at output corner c consumed input
-                            // corner src; the constraint flows to src.
-                            let src = if arc.inverting {
-                                c.flipped_transition()
-                            } else {
-                                c
-                            };
-                            let cand =
-                                rat[e.to.index()][c.index()] - cell_edge_delay[eid.index()][c.index()];
-                            reduce_rat(&mut rat[pin.index()][src.index()], cand, src);
-                        }
-                    }
+        // All fanout sinks sit at strictly higher levels, so walking the
+        // levels in reverse sees only finalized sink RATs — the same
+        // per-pin fold as a reverse topological order, level-parallel.
+        for level in topology.levels().iter().rev() {
+            if level.len() >= PAR_MIN_PINS && tp_par::threads() > 1 {
+                let rows = tp_par::map_items(level.len(), |i| {
+                    self.compute_rat_pin(
+                        circuit,
+                        topology,
+                        level[i],
+                        &rat,
+                        &net_edge_delay,
+                        &cell_edge_delay,
+                    )
+                });
+                for (&pin, row) in level.iter().zip(rows) {
+                    rat[pin.index()] = row;
+                }
+            } else {
+                for &pin in level {
+                    rat[pin.index()] = self.compute_rat_pin(
+                        circuit,
+                        topology,
+                        pin,
+                        &rat,
+                        &net_edge_delay,
+                        &cell_edge_delay,
+                    );
                 }
             }
         }
@@ -202,11 +220,42 @@ impl<'a> StaEngine<'a> {
 }
 
 
+/// How many pins a level must hold before the sweep fans out to tp-par.
+/// Below this the fork-join handoff costs more than the pin kernels; the
+/// threshold only selects serial-vs-parallel, never the arithmetic, so it
+/// cannot affect results.
+const PAR_MIN_PINS: usize = 32;
+
+/// One pin's recomputed forward state: its arrival/slew rows plus the
+/// cell-arc delays its fan-in lookup produced. Pure output of
+/// [`StaEngine::compute_pin`]; applied to the shared arrays in level order.
+pub(crate) struct PinUpdate {
+    at: [f32; 4],
+    slew: [f32; 4],
+    cell_delays: Vec<(tp_graph::CellEdgeId, [f32; 4])>,
+}
+
+/// Writes one computed update back. Cell edges feeding distinct pins are
+/// distinct, so applying a level's updates touches disjoint slots.
+pub(crate) fn apply_update(
+    pin: tp_graph::PinId,
+    update: PinUpdate,
+    at: &mut [[f32; 4]],
+    slew: &mut [[f32; 4]],
+    cell_edge_delay: &mut [[f32; 4]],
+) {
+    at[pin.index()] = update.at;
+    slew[pin.index()] = update.slew;
+    for (eid, d) in update.cell_delays {
+        cell_edge_delay[eid.index()] = d;
+    }
+}
+
 impl StaEngine<'_> {
     /// Recomputes one pin's arrival and slew from its fan-in, resetting the
     /// reduction state first and recording the cell-arc delays used. This
     /// is the single-pin kernel shared by the full levelized run and the
-    /// incremental engine.
+    /// incremental engine (compute + apply).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn propagate_pin(
         &self,
@@ -218,6 +267,22 @@ impl StaEngine<'_> {
         slew: &mut [[f32; 4]],
         cell_edge_delay: &mut [[f32; 4]],
     ) {
+        let update = self.compute_pin(circuit, topology, routing, pin, at, slew);
+        apply_update(pin, update, at, slew, cell_edge_delay);
+    }
+
+    /// Pure forward kernel: derives `pin`'s update from the immutable
+    /// current state. Reads only fan-in pins (strictly lower levels), so
+    /// every pin of a level can run concurrently against the same arrays.
+    pub(crate) fn compute_pin(
+        &self,
+        circuit: &Circuit,
+        topology: &Topology,
+        routing: &Routing,
+        pin: tp_graph::PinId,
+        at: &[[f32; 4]],
+        slew: &[[f32; 4]],
+    ) -> PinUpdate {
         let cfg = &self.config;
         let pd = circuit.pin(pin);
         if pd.is_startpoint {
@@ -225,14 +290,21 @@ impl StaEngine<'_> {
                 PinKind::PrimaryInput => cfg.input_delay,
                 _ => cfg.clk_to_q, // register output
             };
-            at[pin.index()] = [base; 4];
-            slew[pin.index()] = [cfg.input_slew; 4];
-            return;
+            return PinUpdate {
+                at: [base; 4],
+                slew: [cfg.input_slew; 4],
+                cell_delays: Vec::new(),
+            };
         }
+        let mut up = PinUpdate {
+            at: [0.0; 4],
+            slew: [0.0; 4],
+            cell_delays: Vec::new(),
+        };
         for c in Corner::ALL {
             let init = if c.is_early() { f32::INFINITY } else { f32::NEG_INFINITY };
-            at[pin.index()][c.index()] = init;
-            slew[pin.index()][c.index()] = init;
+            up.at[c.index()] = init;
+            up.slew[c.index()] = init;
         }
         for &er in topology.fanin(pin) {
             match er {
@@ -250,8 +322,8 @@ impl StaEngine<'_> {
                         let cand_at = at[e.driver.index()][k] + routed.sink_delays[si][k];
                         let cand_slew =
                             routed.degrade_slew(&cfg.routing, si, c, slew[e.driver.index()][k]);
-                        reduce(&mut at[pin.index()][k], cand_at, c);
-                        reduce(&mut slew[pin.index()][k], cand_slew, c);
+                        reduce(&mut up.at[k], cand_at, c);
+                        reduce(&mut up.slew[k], cand_slew, c);
                     }
                 }
                 EdgeRef::Cell(eid) => {
@@ -261,6 +333,7 @@ impl StaEngine<'_> {
                     let arc = &ct.arcs[e.input_index as usize];
                     let out_net = circuit.pin(e.to).net.expect("output pin is connected");
                     let load = routing.net(out_net).total_cap;
+                    let mut delays = [0.0f32; 4];
                     for c in Corner::ALL {
                         let k = c.index();
                         let src = if arc.inverting {
@@ -271,14 +344,62 @@ impl StaEngine<'_> {
                         let in_slew = slew[e.from.index()][src.index()];
                         let d = arc.delay(c).lookup(in_slew, load[k]);
                         let os = arc.out_slew(c).lookup(in_slew, load[k]);
-                        cell_edge_delay[eid.index()][k] = d;
+                        delays[k] = d;
                         let cand_at = at[e.from.index()][src.index()] + d;
-                        reduce(&mut at[pin.index()][k], cand_at, c);
-                        reduce(&mut slew[pin.index()][k], os, c);
+                        reduce(&mut up.at[k], cand_at, c);
+                        reduce(&mut up.slew[k], os, c);
+                    }
+                    up.cell_delays.push((eid, delays));
+                }
+            }
+        }
+        up
+    }
+
+    /// Pure backward kernel: folds `pin`'s fanout constraints (all at
+    /// strictly higher, already-final levels) into its current RAT row, in
+    /// CSR fanout order — the exact fold the serial reverse sweep does.
+    pub(crate) fn compute_rat_pin(
+        &self,
+        circuit: &Circuit,
+        topology: &Topology,
+        pin: tp_graph::PinId,
+        rat: &[[f32; 4]],
+        net_edge_delay: &[[f32; 4]],
+        cell_edge_delay: &[[f32; 4]],
+    ) -> [f32; 4] {
+        let mut row = rat[pin.index()];
+        for &er in topology.fanout(pin) {
+            match er {
+                EdgeRef::Net(eid) => {
+                    let e = circuit.net_edge(eid);
+                    for c in Corner::ALL {
+                        let k = c.index();
+                        let cand = rat[e.sink.index()][k] - net_edge_delay[eid.index()][k];
+                        reduce_rat(&mut row[k], cand, c);
+                    }
+                }
+                EdgeRef::Cell(eid) => {
+                    let e = circuit.cell_edge(eid);
+                    let cd = circuit.cell(e.cell);
+                    let ct = self.library.cell(cd.type_id);
+                    let arc = &ct.arcs[e.input_index as usize];
+                    for c in Corner::ALL {
+                        // arrival at output corner c consumed input
+                        // corner src; the constraint flows to src.
+                        let src = if arc.inverting {
+                            c.flipped_transition()
+                        } else {
+                            c
+                        };
+                        let cand =
+                            rat[e.to.index()][c.index()] - cell_edge_delay[eid.index()][c.index()];
+                        reduce_rat(&mut row[src.index()], cand, src);
                     }
                 }
             }
         }
+        row
     }
 }
 

@@ -48,6 +48,10 @@ impl Ord for Entry {
 }
 
 impl PartialOrd for Entry {
+    // NaN-safety audit: this ordering compares only integer fields
+    // (`usize` level and pin index), so it is total by construction —
+    // delegating to `Ord::cmp` is exact, with no float comparison and no
+    // NaN to mis-order.
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }

@@ -159,7 +159,10 @@ pub fn worst_paths(
             }
         })
         .collect();
-    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp, not partial_cmp: a NaN slack (degraded design) must rank
+    // deterministically — `+NaN` sorts after +inf, i.e. least critical —
+    // instead of making the whole sort order depend on comparison order.
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
     ranked
         .into_iter()
         .take(k)
@@ -270,6 +273,43 @@ mod tests {
         assert!(paths[0].slack <= paths[1].slack);
         // deepest endpoint (z1, through two inverters) is most critical
         assert!(paths[0].logic_depth() >= paths[1].logic_depth());
+    }
+
+    #[test]
+    fn nan_slack_ranks_last_and_deterministically() {
+        let lib = Library::synthetic_sky130(0);
+        let inv = lib.type_id("INV_X1").expect("library cell");
+        // Three endpoints so a bad comparator has room to scramble.
+        let mut b = CircuitBuilder::new("nan");
+        let pi = b.add_primary_input("in");
+        let (_, i0, o0) = b.add_cell("u0", inv, 1);
+        let (_, i1, o1) = b.add_cell("u1", inv, 1);
+        let z0 = b.add_primary_output("z0");
+        let z1 = b.add_primary_output("z1");
+        let z2 = b.add_primary_output("z2");
+        b.connect(pi, &[i0[0]]).expect("valid");
+        b.connect(o0, &[i1[0], z0]).expect("valid");
+        b.connect(o1, &[z1, z2]).expect("valid");
+        let c = b.finish().expect("valid");
+        let p = place_circuit(&c, &PlacementConfig::default(), 1);
+        let mut r = StaEngine::new(&lib, StaConfig::default()).run(&c, &p);
+        // Degrade one endpoint the way a broken design would: poison its
+        // required time so its slack is NaN at both late corners.
+        let victim = r.endpoints[1];
+        r.rat[victim.index()] = [f32::NAN; 4];
+        let topo = c.topology();
+        let paths = worst_paths(&c, &topo, &r, 3);
+        assert_eq!(paths.len(), 3, "NaN must not drop endpoints");
+        assert!(
+            paths[2].endpoint == victim && paths[2].slack.is_nan(),
+            "the NaN endpoint ranks least critical, after every finite slack"
+        );
+        assert!(paths[0].slack <= paths[1].slack);
+        // And the ranking is reproducible.
+        let again = worst_paths(&c, &topo, &r, 3);
+        let order: Vec<_> = paths.iter().map(|p| p.endpoint).collect();
+        let order2: Vec<_> = again.iter().map(|p| p.endpoint).collect();
+        assert_eq!(order, order2);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::{Shape, Tensor};
 
 /// `out[m,n] += a[m,k] * b[k,n]` with an i-k-j loop order that streams both
 /// operands row-major (cache friendly for the small K typical of MLPs).
-fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+fn gemm_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -21,6 +21,31 @@ fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// Multiply-add cost below which a gemm stays serial — small MLP layers do
+/// not amortize the fork-join handoff.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Row-parallel gemm. Output rows depend only on the matching rows of `a`,
+/// so tp-par splits the row range across workers; each row's k-loop runs
+/// in the exact order of the serial kernel, keeping every accumulation
+/// bit-identical at any thread count (the determinism contract).
+fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    if m >= 2 && m * k * n >= PAR_MIN_FLOPS && tp_par::threads() > 1 {
+        tp_par::for_each_rows_mut(out, n, |_, rows, out_rows| {
+            gemm_rows(
+                &a[rows.start * k..rows.end * k],
+                b,
+                rows.len(),
+                k,
+                n,
+                out_rows,
+            );
+        });
+    } else {
+        gemm_rows(a, b, m, k, n, out);
     }
 }
 
@@ -147,6 +172,35 @@ mod tests {
         a.t().mul(&w).sum().backward();
         // grad of a is w transposed back to [2,3]
         assert_eq!(a.grad().unwrap(), vec![1., 0., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn large_matmul_bits_are_thread_count_independent() {
+        // 96×48 × 48×40 = 184k multiply-adds — above PAR_MIN_FLOPS, so the
+        // row-parallel path engages at >1 thread. Flipping the global
+        // override mid-suite is safe precisely because of the property
+        // under test: thread count never changes results.
+        let (m, k, n) = (96usize, 48usize, 40usize);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.031).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.017).collect();
+        let at = Tensor::from_vec(a, &[m, k]).unwrap().with_grad();
+        let bt = Tensor::from_vec(b, &[k, n]).unwrap().with_grad();
+        let run = |threads: usize| {
+            tp_par::set_threads(threads);
+            at.zero_grad();
+            bt.zero_grad();
+            let y = at.matmul(&bt);
+            y.sum().backward();
+            let bits = |v: Vec<f32>| -> Vec<u32> { v.iter().map(|x| x.to_bits()).collect() };
+            let out = (
+                bits(y.to_vec()),
+                bits(at.grad().unwrap()),
+                bits(bt.grad().unwrap()),
+            );
+            tp_par::set_threads(0);
+            out
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -91,13 +91,13 @@ fn main() {
     let best_true = pairs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
         .map(|(i, _)| i)
         .expect("non-empty sweep");
     let best_pred = pairs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite"))
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
         .map(|(i, _)| i)
         .expect("non-empty sweep");
     println!(
@@ -105,7 +105,7 @@ fn main() {
     );
     let rank_of_pick = {
         let mut order: Vec<usize> = (0..pairs.len()).collect();
-        order.sort_by(|&a, &b| pairs[b].0.partial_cmp(&pairs[a].0).expect("finite"));
+        order.sort_by(|&a, &b| pairs[b].0.total_cmp(&pairs[a].0));
         order.iter().position(|&i| i == best_pred).expect("present") + 1
     };
     println!("the predictor's pick ranks #{rank_of_pick} of {} by ground truth", pairs.len());

@@ -40,6 +40,7 @@ fn main() {
     // Enable after dataset generation so the manifest's phase aggregation
     // (top-level spans) covers exactly the training run it reports on.
     if tracing {
+        let _ = timing_predict::gnn::install_par_metrics();
         obs::enable();
     }
 

@@ -75,7 +75,7 @@ fn main() {
         .endpoints()
         .iter()
         .map(|e| (e, report.setup_slack(*e)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite slacks"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
     {
         println!("\nworst endpoint: pin {worst}");
         for c in Corner::ALL {

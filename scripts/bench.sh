@@ -22,20 +22,37 @@ cargo build --workspace --release --offline --benches
 
 # TP_BENCH_OUT points the suites' BENCH_<suite>.json at results/bench
 # (cargo runs bench binaries from the package root, so cwd won't do).
-export TP_BENCH_OUT="$OUT_DIR"
-SUITES=(train sta engines models tensor_ops)
-for suite in "${SUITES[@]}"; do
-    echo "== bench: $suite =="
+# Each JSON records its "threads" field, so the threads1/ copies below are
+# directly comparable against the default (multi-threaded) run.
+run_suite() {
+    local suite="$1"
     if [ "$SMOKE" = 1 ]; then
         TP_BENCH_FAST=1 cargo bench -q --offline -p tp-bench --bench "$suite"
     else
         cargo bench -q --offline -p tp-bench --bench "$suite"
     fi
-    if [ ! -s "$OUT_DIR/BENCH_$suite.json" ]; then
+    if [ ! -s "$TP_BENCH_OUT/BENCH_$suite.json" ]; then
         echo "bench: FAIL — $suite did not write BENCH_$suite.json" >&2
         exit 1
     fi
+}
+
+export TP_BENCH_OUT="$OUT_DIR"
+SUITES=(train sta engines models tensor_ops)
+for suite in "${SUITES[@]}"; do
+    echo "== bench: $suite (TP_THREADS=${TP_THREADS:-default}) =="
+    run_suite "$suite"
 done
 
-echo "bench: OK — artifacts in results/bench/"
-ls -l "$OUT_DIR"/BENCH_*.json
+# Single-thread baseline for the parallelized hot paths: re-run the sta
+# and train suites with the pool pinned to one worker so speedup is
+# computable as threads1/BENCH_x.json ÷ BENCH_x.json medians.
+mkdir -p "$OUT_DIR/threads1"
+export TP_BENCH_OUT="$OUT_DIR/threads1"
+for suite in sta train; do
+    echo "== bench: $suite (TP_THREADS=1 baseline) =="
+    TP_THREADS=1 run_suite "$suite"
+done
+
+echo "bench: OK — artifacts in results/bench/ (+ threads1/ baseline)"
+ls -l "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/threads1/BENCH_*.json

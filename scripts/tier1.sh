@@ -12,8 +12,13 @@ cd "$(dirname "$0")/.."
 echo "== tier1: release build (all targets, offline) =="
 cargo build --workspace --release --offline --all-targets
 
-echo "== tier1: tests (offline) =="
-cargo test -q --workspace --offline
+echo "== tier1: tests (offline, single-threaded pool) =="
+TP_THREADS=1 cargo test -q --workspace --offline
+
+echo "== tier1: tests (offline, 4-thread pool) =="
+# Same suite again with the tp-par pool active: every test asserting exact
+# bits must pass at both thread counts — that is the determinism contract.
+TP_THREADS=4 cargo test -q --workspace --offline
 
 echo "== tier1: fault-tolerance suite (release) =="
 cargo test -q --offline --release --test fault_tolerance
@@ -44,6 +49,22 @@ fi
 echo "== tier1: hermeticity (tp-obs stays dependency-free) =="
 if grep -n '^\[dependencies\]' crates/obs/Cargo.toml; then
     echo "tier1: FAIL — tp-obs must not grow a [dependencies] section" >&2
+    exit 1
+fi
+
+echo "== tier1: hermeticity (tp-par stays dependency-free) =="
+if grep -n '^\[dependencies\]' crates/par/Cargo.toml; then
+    echo "tier1: FAIL — tp-par must not grow a [dependencies] section" >&2
+    exit 1
+fi
+
+echo "== tier1: NaN-safe ordering (no Ordering::Equal fallbacks) =="
+# partial_cmp(..).unwrap_or(Equal) silently makes NaN compare equal to
+# everything, which turns sorts nondeterministic. total_cmp is the fix;
+# this grep keeps the pattern from coming back.
+if grep -rEn 'unwrap_or\((std::cmp::)?Ordering::Equal\)' \
+    src tests examples crates/*/src crates/*/tests 2>/dev/null; then
+    echo "tier1: FAIL — NaN-unsafe comparator found above; use f32::total_cmp" >&2
     exit 1
 fi
 

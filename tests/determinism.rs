@@ -200,6 +200,170 @@ fn observability_on_is_bit_identical_and_writes_nothing() {
     assert_eq!(bits(&p_off.net_delay), bits(&p_on.net_delay));
 }
 
+/// Serializes the tests that flip the global `tp_par::set_threads`
+/// override, so each one's "N threads" run really uses N threads.
+/// Poison-tolerant: a panicked holder must not cascade into the others.
+fn threads_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The tp-par contract: worker count is a pure performance knob. One run
+/// of the whole pipeline — suite generation, 2 training epochs with
+/// checkpointing, prediction, then placement + routing + four-corner STA
+/// on a larger benchmark — is condensed to a bit signature, and the
+/// signature must be identical with the pool pinned to 1 thread and to 4.
+/// `scripts/tier1.sh` additionally re-runs the whole workspace under
+/// `TP_THREADS=1` and `TP_THREADS=4`; this test proves the same claim
+/// in-process, including the checkpoint files byte for byte.
+#[test]
+fn thread_count_is_bit_identical() {
+    use timing_predict::gen::{generate, BenchmarkSpec};
+    use timing_predict::graph::PinId;
+    use timing_predict::place::{place_circuit, PlacementConfig};
+    use timing_predict::sta::flow::run_full_flow;
+    use timing_predict::sta::StaConfig;
+
+    // (float bit signature, checkpoint bytes) of one full run.
+    let signature = |ckpt_dir: &std::path::Path| -> (Vec<u32>, Vec<u8>) {
+        let seed = seed_from_env("TP_SEED", 42);
+        let library = Library::synthetic_sky130(0);
+        let dataset = Dataset::build_suite(
+            &library,
+            &DatasetConfig {
+                generator: GeneratorConfig {
+                    scale: 0.001,
+                    seed,
+                    depth: Some(6),
+                },
+                ..Default::default()
+            },
+        );
+        let mut trainer = Trainer::new(
+            TimingGnn::new(&ModelConfig {
+                embed_dim: 4,
+                prop_dim: 6,
+                hidden: vec![8],
+                seed,
+                ablation: Default::default(),
+            }),
+            TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let report = trainer.fit_with(
+            &dataset,
+            &FitOptions {
+                checkpoint: Some(CheckpointPolicy::every_epoch(ckpt_dir)),
+                ..FitOptions::default()
+            },
+        );
+        let pred = trainer.predict(dataset.designs().first().expect("non-empty suite"));
+
+        let mut bits: Vec<u32> = report.epochs.iter().map(|e| e.total.to_bits()).collect();
+        for t in [&pred.arrival, &pred.slew, &pred.net_delay] {
+            bits.extend(t.to_vec().iter().map(|v| v.to_bits()));
+        }
+
+        let mut ckpt = Vec::new();
+        for epoch in 1..=2u64 {
+            ckpt.extend(
+                std::fs::read(timing_predict::gnn::checkpoint::checkpoint_path(
+                    ckpt_dir, epoch,
+                ))
+                .expect("checkpoint written"),
+            );
+        }
+
+        // A benchmark large enough that STA levels and net counts clear
+        // the tp-par parallelism thresholds, so the 4-thread run really
+        // exercises the parallel sweeps rather than the serial fallback.
+        let spec = BenchmarkSpec::by_name("picorv32a").expect("known benchmark");
+        let circuit = generate(
+            spec,
+            &library,
+            &GeneratorConfig {
+                scale: 0.02,
+                seed: 11,
+                depth: None,
+            },
+        );
+        let placement = place_circuit(&circuit, &PlacementConfig::default(), 5);
+        let flow = run_full_flow(
+            &circuit,
+            &placement,
+            &library,
+            &StaConfig::default().with_clock_period(3.0),
+        );
+        for i in 0..flow.report.num_pins() {
+            let p = PinId::new(i);
+            for corner in [
+                flow.report.arrival(p),
+                flow.report.slew(p),
+                flow.report.required(p),
+            ] {
+                bits.extend(corner.iter().map(|v| v.to_bits()));
+            }
+        }
+        bits.push(flow.routing.total_wirelength().to_bits());
+        (bits, ckpt)
+    };
+
+    let _guard = threads_lock();
+    let scratch = std::env::temp_dir().join(format!("tp-det-threads-{}", std::process::id()));
+    let dir1 = scratch.join("t1");
+    let dir4 = scratch.join("t4");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    timing_predict::par::set_threads(1);
+    let (bits1, ckpt1) = signature(&dir1);
+    timing_predict::par::set_threads(4);
+    let (bits4, ckpt4) = signature(&dir4);
+    timing_predict::par::set_threads(0);
+
+    assert!(
+        bits1.len() > 1000,
+        "signature should cover the whole pipeline, got {} floats",
+        bits1.len()
+    );
+    assert_eq!(bits1, bits4, "thread count changed float bits somewhere");
+    assert_eq!(ckpt1, ckpt4, "thread count changed checkpoint bytes");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Forked RNG streams must not depend on which worker thread draws them:
+/// `root.fork(i)` keys the stream off `i` alone (tp-rng's fork is
+/// position-independent), so a parallel map over stream ids yields the
+/// same draws at any pool size — the pattern tp-gen uses for per-design
+/// generation.
+#[test]
+fn rng_fork_streams_are_worker_count_independent() {
+    use timing_predict::rng::{Rng as _, Xoshiro256pp};
+
+    let draws = |threads: usize| -> Vec<u64> {
+        let _guard = threads_lock();
+        timing_predict::par::set_threads(threads);
+        let root = Xoshiro256pp::seed_from_u64(99);
+        let out = timing_predict::par::map_items(64, |i| {
+            let mut stream = root.fork(i as u64);
+            stream.next_u64()
+        });
+        timing_predict::par::set_threads(0);
+        out
+    };
+
+    let serial = draws(1);
+    let parallel = draws(4);
+    assert_eq!(serial, parallel);
+    // Not vacuous: distinct stream ids really produce distinct draws.
+    assert!(
+        serial.windows(2).any(|w| w[0] != w[1]),
+        "forked streams should differ from each other"
+    );
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the test above is not vacuous: a different seed
