@@ -11,7 +11,10 @@
 //! - `par.items` — items covered across all regions,
 //! - `par.chunk_items` — histogram of chunk sizes,
 //! - `par.imbalance_pct` — histogram of per-region chunk imbalance,
-//!   `(max − min) · 100 / max` (static chunking keeps this near zero).
+//!   `(max − min) · 100 / max` (static chunking keeps this near zero),
+//! - `par.inlined_regions` / `par.forked_regions` — cost-model decisions
+//!   at the costed dispatch sites, so "did the granularity model keep this
+//!   level serial?" is answerable from a run manifest.
 
 /// The observer registered with [`tp_par::set_observer`].
 fn record_region(stats: &tp_par::RegionStats) {
@@ -25,6 +28,15 @@ fn record_region(stats: &tp_par::RegionStats) {
     let spread = (stats.max_chunk - stats.min_chunk) * 100;
     let imbalance = spread.checked_div(stats.max_chunk).unwrap_or(0) as u64;
     tp_obs::metrics::observe("par.imbalance_pct", imbalance);
+    // Only costed sites carry a name; they are the ones whose
+    // inline-vs-fork decision is adaptive and worth watching.
+    if !stats.site.is_empty() {
+        if stats.inlined {
+            tp_obs::metrics::count("par.inlined_regions", 1);
+        } else {
+            tp_obs::metrics::count("par.forked_regions", 1);
+        }
+    }
 }
 
 /// Installs the `par.*` metrics observer (idempotent; returns whether this

@@ -13,14 +13,18 @@
 //! - **graceful degradation** — designs failing `DesignGraph::validate`
 //!   are skipped and reported instead of poisoning the epoch.
 //!
-//! **Threading model.** The design loop here is intentionally serial:
-//! [`Tensor`] autograd graphs are `Rc`-based (not `Send`), Adam updates
-//! every parameter between designs, and gradients must accumulate in
-//! design order for bit-identical runs. Training instead parallelizes one
-//! layer down — the dense matmuls behind every forward/backward pass split
-//! by output row across `tp-par` workers (see DESIGN.md §8), which keeps
-//! per-row accumulation order fixed so loss trajectories and checkpoints
-//! are bit-identical at any `TP_THREADS`.
+//! **Threading model.** Per-design SGD (the default,
+//! [`TrainConfig::design_batch`] `= 1`) is inherently serial — Adam updates
+//! every parameter between designs — so that loop parallelizes one layer
+//! down: the dense matmuls behind every forward/backward pass split by
+//! output row across `tp-par` workers (see DESIGN.md §8). With
+//! `design_batch` ≥ 2 (or 0 = full batch) the trainer instead evaluates
+//! whole per-design gradients concurrently: the `Arc`-based tape is
+//! `Send + Sync`, each worker diverts its leaf gradients into a
+//! thread-local sink ([`tp_tensor::collect_grads`]), and the per-design
+//! results fold in a fixed block order ([`tp_par::reduce_blocks`]) before
+//! one mean-gradient Adam step per batch. Either way, loss trajectories
+//! and checkpoints are bit-identical at any `TP_THREADS`.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -52,6 +56,14 @@ pub struct TrainConfig {
     /// Final learning rate as a fraction of `lr` (cosine decay over the
     /// epoch budget); 1.0 disables the schedule.
     pub lr_floor: f32,
+    /// Designs per optimizer step. `1` (the default) is classic per-design
+    /// SGD with a serial design loop; `N ≥ 2` evaluates gradients for `N`
+    /// consecutive designs in parallel across tp-par workers and commits
+    /// one mean-gradient step per batch; `0` means full-batch (all training
+    /// designs per step). Changing this changes the *optimization
+    /// trajectory* (it is a real hyper-parameter); for any fixed value the
+    /// results are bit-identical at any thread count.
+    pub design_batch: usize,
 }
 
 impl Default for TrainConfig {
@@ -63,6 +75,7 @@ impl Default for TrainConfig {
             aux: AuxMode::Full,
             log_every: 0,
             lr_floor: 0.1,
+            design_batch: 1,
         }
     }
 }
@@ -210,6 +223,7 @@ impl TrainReport {
             .config("grad_clip", config.grad_clip)
             .config("lr_floor", config.lr_floor)
             .config("aux", format!("{:?}", config.aux))
+            .config("design_batch", config.design_batch)
             .config("threads", tp_par::threads());
         let epochs: Vec<String> = self
             .epochs
@@ -285,6 +299,26 @@ struct StepOutcome {
     /// Number of rollback + backoff events the step consumed.
     rollbacks: u32,
 }
+
+/// Outcome of one guarded batch step (`design_batch` ≥ 2 or 0).
+struct BatchOutcome {
+    /// Per-design loss decompositions of the committed attempt, in batch
+    /// order; `None` when the retry budget was exhausted.
+    parts: Option<Vec<LossParts>>,
+    /// Number of rollback + backoff events the step consumed.
+    rollbacks: u32,
+}
+
+/// Adaptive dispatch for parallel per-design gradient evaluation: items
+/// are the batch's designs, units the total pin count (forward/backward
+/// cost tracks design size).
+static BATCH_COST: tp_par::CostModel = tp_par::CostModel::new("train.design_grads", 500.0);
+
+/// Fixed fold-block size for batched gradient accumulation. Caller-fixed
+/// and independent of the thread count, so the floating-point association
+/// order — and therefore every trained weight — is bit-identical at any
+/// `TP_THREADS` (tp-par's ordered-reduction rule).
+const GRAD_FOLD_BLOCK: usize = 8;
 
 /// Trains a [`TimingGnn`] on a dataset's training split and evaluates it.
 pub struct Trainer {
@@ -479,6 +513,150 @@ impl Trainer {
         }
     }
 
+    /// One guarded *batch* step: forward/backward for every design of the
+    /// batch runs concurrently on tp-par workers (leaf gradients diverted
+    /// into per-worker sinks by [`tp_tensor::collect_grads`]), the
+    /// per-design gradients fold in [`GRAD_FOLD_BLOCK`]-sized blocks of
+    /// batch order, and one mean-gradient Adam step commits — under the
+    /// same divergence guard as [`Trainer::guarded_step`].
+    fn guarded_batch_step(
+        &mut self,
+        designs: &[&DesignGraph],
+        epoch: usize,
+        guard: &GuardPolicy,
+        faults: &FaultPlan,
+        events: &mut Vec<DivergenceEvent>,
+    ) -> BatchOutcome {
+        let plans: Vec<PropPlan> = designs.iter().map(|d| self.plan_for(d)).collect();
+        let step_id = self.step_count;
+        self.step_count += 1;
+        let first_event = events.len();
+        let mut rollbacks = 0u32;
+        let batch_name = if designs.len() == 1 {
+            designs[0].name.clone()
+        } else {
+            format!("{}(+{} more)", designs[0].name, designs.len() - 1)
+        };
+        let units: u64 = designs.iter().map(|d| d.num_pins as u64).sum();
+        loop {
+            let (model, params, aux) = (&self.model, &self.params, self.config.aux);
+            let results: Vec<(LossParts, Vec<Option<Vec<f32>>>)> =
+                tp_par::map_items_costed(&BATCH_COST, designs.len(), units, |i| {
+                    tp_tensor::collect_grads(params, || {
+                        let pred = model.forward(designs[i], &plans[i]);
+                        let (loss, parts) = combined_loss(designs[i], &plans[i], &pred, aux);
+                        loss.backward();
+                        parts
+                    })
+                });
+            // Fold per-design gradients into the shared slots: fixed block
+            // size, block-index order — bit-identical at any thread count.
+            let scale = 1.0 / designs.len() as f32;
+            for (pi, p) in self.params.iter().enumerate() {
+                let folded = tp_par::reduce_blocks(
+                    designs.len(),
+                    GRAD_FOLD_BLOCK,
+                    |range| {
+                        let mut acc = vec![0.0f32; p.numel()];
+                        for d in range {
+                            if let Some(g) = &results[d].1[pi] {
+                                for (a, &v) in acc.iter_mut().zip(g) {
+                                    *a += v;
+                                }
+                            }
+                        }
+                        acc
+                    },
+                    |mut a, b| {
+                        for (x, &y) in a.iter_mut().zip(&b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                );
+                let mut mean = folded.unwrap_or_else(|| vec![0.0; p.numel()]);
+                for v in &mut mean {
+                    *v *= scale;
+                }
+                p.replace_grad(mean);
+            }
+            if rollbacks == 0 && faults.injects_nan_grad(step_id) {
+                let p0 = &self.params[0];
+                p0.replace_grad(vec![f32::NAN; p0.numel()]);
+            }
+            let norm = clip_grad_norm(&self.params, self.config.grad_clip);
+            let total: f32 = results.iter().map(|(p, _)| p.total).sum();
+            if total.is_finite() && norm.is_finite() {
+                let snapshot = self.snapshot_params();
+                let opt_state = self.optimizer.export_state();
+                self.optimizer.step();
+                if self.params_finite() {
+                    for e in &mut events[first_event..] {
+                        e.recovered = true;
+                    }
+                    return BatchOutcome {
+                        parts: Some(results.into_iter().map(|(p, _)| p).collect()),
+                        rollbacks,
+                    };
+                }
+                self.restore_params(&snapshot);
+                self.optimizer
+                    .import_state(opt_state)
+                    .expect("own snapshot always fits");
+            }
+            self.optimizer.zero_grad();
+            let lr_before = self.optimizer.lr();
+            if rollbacks >= guard.max_retries {
+                tp_obs::event!(
+                    "train.divergence",
+                    epoch = epoch,
+                    step = step_id,
+                    design = batch_name.as_str(),
+                    attempt = rollbacks + 1,
+                    lr_before = lr_before,
+                    lr_after = lr_before,
+                    exhausted = true,
+                );
+                events.push(DivergenceEvent {
+                    epoch,
+                    step: step_id,
+                    design: batch_name.clone(),
+                    attempt: rollbacks + 1,
+                    lr_before,
+                    lr_after: lr_before,
+                    recovered: false,
+                });
+                return BatchOutcome {
+                    parts: None,
+                    rollbacks,
+                };
+            }
+            let lr_after = (lr_before * guard.lr_backoff).max(guard.min_lr);
+            self.optimizer.set_lr(lr_after);
+            rollbacks += 1;
+            tp_obs::event!(
+                "train.divergence",
+                epoch = epoch,
+                step = step_id,
+                design = batch_name.as_str(),
+                attempt = rollbacks,
+                lr_before = lr_before,
+                lr_after = lr_after,
+                exhausted = false,
+            );
+            tp_obs::metrics::count("train.rollbacks", 1);
+            events.push(DivergenceEvent {
+                epoch,
+                step: step_id,
+                design: batch_name.clone(),
+                attempt: rollbacks,
+                lr_before,
+                lr_after,
+                recovered: false,
+            });
+        }
+    }
+
     /// Trains for the configured number of epochs over the dataset's
     /// training split; returns per-epoch statistics.
     ///
@@ -540,21 +718,52 @@ impl Trainer {
                 ..EpochStats::default()
             };
             let mut count = 0;
-            for design in &train {
-                let _design_span = tp_obs::span!("design", design = design.name.as_str());
-                let outcome =
-                    self.guarded_step(design, epoch, &options.guard, &options.faults, &mut report.divergences);
-                tp_obs::metrics::count("train.steps", 1);
-                agg.rollbacks += outcome.rollbacks as usize;
-                match outcome.parts {
-                    Some(parts) => {
-                        agg.atslew += parts.atslew;
-                        agg.celld += parts.celld;
-                        agg.netd += parts.netd;
-                        agg.total += parts.total;
-                        count += 1;
+            let batch_size = match self.config.design_batch {
+                0 => train.len().max(1),
+                n => n,
+            };
+            if batch_size <= 1 {
+                for design in &train {
+                    let _design_span = tp_obs::span!("design", design = design.name.as_str());
+                    let outcome =
+                        self.guarded_step(design, epoch, &options.guard, &options.faults, &mut report.divergences);
+                    tp_obs::metrics::count("train.steps", 1);
+                    agg.rollbacks += outcome.rollbacks as usize;
+                    match outcome.parts {
+                        Some(parts) => {
+                            agg.atslew += parts.atslew;
+                            agg.celld += parts.celld;
+                            agg.netd += parts.netd;
+                            agg.total += parts.total;
+                            count += 1;
+                        }
+                        None => agg.skipped += 1,
                     }
-                    None => agg.skipped += 1,
+                }
+            } else {
+                for batch in train.chunks(batch_size) {
+                    let _batch_span = tp_obs::span!("design_batch", designs = batch.len());
+                    let outcome = self.guarded_batch_step(
+                        batch,
+                        epoch,
+                        &options.guard,
+                        &options.faults,
+                        &mut report.divergences,
+                    );
+                    tp_obs::metrics::count("train.steps", 1);
+                    agg.rollbacks += outcome.rollbacks as usize;
+                    match outcome.parts {
+                        Some(parts) => {
+                            for p in parts {
+                                agg.atslew += p.atslew;
+                                agg.celld += p.celld;
+                                agg.netd += p.netd;
+                                agg.total += p.total;
+                                count += 1;
+                            }
+                        }
+                        None => agg.skipped += batch.len(),
+                    }
                 }
             }
             let k = count.max(1) as f32;
@@ -854,6 +1063,47 @@ mod tests {
         let first = report.epochs.first().unwrap().total;
         let last = report.epochs.last().unwrap().total;
         assert!(last < first, "training still converges: {first} -> {last}");
+    }
+
+    #[test]
+    fn batched_fit_reduces_loss() {
+        let ds = tiny_dataset();
+        let mut t = tiny_trainer(AuxMode::Full);
+        t.config.design_batch = 3;
+        let history = t.fit(&ds);
+        assert_eq!(history.len(), 8);
+        let first = history.first().unwrap().total;
+        let last = history.last().unwrap().total;
+        assert!(last < first, "batched training loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn full_batch_fit_reduces_loss() {
+        let ds = tiny_dataset();
+        let mut t = tiny_trainer(AuxMode::Full);
+        t.config.design_batch = 0; // all training designs per step
+        let history = t.fit(&ds);
+        let first = history.first().unwrap().total;
+        let last = history.last().unwrap().total;
+        assert!(last < first, "full-batch training loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn batched_injected_nan_rolls_back_and_recovers() {
+        let ds = tiny_dataset();
+        let mut t = tiny_trainer(AuxMode::Full);
+        t.config.design_batch = 4;
+        let options = FitOptions {
+            faults: FaultPlan::nan_grad_at([1]),
+            ..FitOptions::default()
+        };
+        let report = t.fit_with(&ds, &options);
+        assert!(!report.divergences.is_empty());
+        assert!(report.divergences.iter().all(|d| d.recovered));
+        assert!(t.params_finite(), "no NaN may survive the batch guard");
+        let first = report.epochs.first().unwrap().total;
+        let last = report.epochs.last().unwrap().total;
+        assert!(last < first, "batched training still converges: {first} -> {last}");
     }
 
     #[test]

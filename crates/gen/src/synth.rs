@@ -199,11 +199,21 @@ pub fn generate(spec: &BenchmarkSpec, library: &Library, config: &GeneratorConfi
 /// Each design's RNG is seeded from `config.seed` and its own name, so the
 /// designs are independent and generate as a tp-par ordered map — the suite
 /// is identical at any thread count.
+/// Adaptive dispatch for suite generation: items are designs, units are
+/// the total scaled pin count (a design's generation cost tracks its
+/// size). The old unconditional fork paid the pool handoff even for
+/// tiny-scale suites.
+static GEN_COST: tp_par::CostModel = tp_par::CostModel::new("gen.suite", 400.0);
+
 pub fn generate_suite(
     library: &Library,
     config: &GeneratorConfig,
 ) -> Vec<(&'static BenchmarkSpec, Circuit)> {
-    let circuits = tp_par::map_items(crate::BENCHMARKS.len(), |i| {
+    let units: u64 = crate::BENCHMARKS
+        .iter()
+        .map(|s| scaled(s.nodes, config.scale, 16) as u64)
+        .sum();
+    let circuits = tp_par::map_items_costed(&GEN_COST, crate::BENCHMARKS.len(), units, |i| {
         generate(&crate::BENCHMARKS[i], library, config)
     });
     crate::BENCHMARKS.iter().zip(circuits).collect()

@@ -41,8 +41,9 @@ use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 /// Poison-safe lock: a panic while holding the mutex must not take the
 /// pool down with it — the protected state (a work queue, a panic slot)
@@ -97,6 +98,20 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Number of hardware execution units actually available to this process
+/// (`available_parallelism`, cached). Distinct from [`threads`]: a user may
+/// pin `TP_THREADS=4` on a 1-core container to exercise the pool, but no
+/// wall-clock win is possible there — [`CostModel::predicts_win`] consults
+/// this to tell "can parallelize" apart from "will profit".
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic chunking
 // ---------------------------------------------------------------------------
@@ -127,6 +142,145 @@ pub fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive granularity: the per-site cost model
+// ---------------------------------------------------------------------------
+
+/// Minimum predicted work, in nanoseconds, each *forked chunk* must carry
+/// before a region is worth handing to the pool (`TP_GRAIN_NS`, default
+/// 100 µs). Below one grain the fork-join handoff dominates; the grain is
+/// also the target chunk size, so chunk counts shrink with the region
+/// instead of always fanning to every worker.
+pub fn grain_ns() -> f64 {
+    static GRAIN: OnceLock<f64> = OnceLock::new();
+    *GRAIN.get_or_init(|| {
+        std::env::var("TP_GRAIN_NS")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|v| *v >= 1.0)
+            .unwrap_or(100_000.0)
+    })
+}
+
+/// Dispatch decision for one region: run it on the calling thread or fork
+/// `chunks` pieces to the pool. The decision only moves work between
+/// threads — per-item arithmetic and merge order are fixed — so it can
+/// never change a result (the determinism contract's third rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Run serially on the submitting thread.
+    Inline,
+    /// Fork into this many chunks (≥ 2, ≤ [`threads`], ≤ items).
+    Fork {
+        /// Number of statically-cut chunks to schedule.
+        chunks: usize,
+    },
+}
+
+/// A per-dispatch-site adaptive cost model.
+///
+/// Each parallel call site owns one `static CostModel` seeded with a rough
+/// ns-per-unit estimate; after every region the model folds the *measured*
+/// per-unit cost into an exponential moving average. [`CostModel::plan`]
+/// then sizes regions in wall-clock terms: fork only when the predicted
+/// region cost covers at least two [`grain_ns`] chunks, and cut only as
+/// many chunks as the work can fill — small regions run inline instead of
+/// paying the fork-join handoff, which is exactly what made `TP_THREADS=4`
+/// lose to `=1` on small-scale suites under fixed item-count thresholds.
+///
+/// A "unit" is whatever the site's cost is proportional to (matmul
+/// multiply-adds, STA pins, routed net sinks); "items" is what the region
+/// is split over. Measurements feed scheduling only — never results — so
+/// the adaptation cannot violate bit-identity.
+#[derive(Debug)]
+pub struct CostModel {
+    name: &'static str,
+    initial_ns_per_unit: f64,
+    /// EWMA of measured ns/unit as `f64` bits; 0 = no measurement yet
+    /// (positive finite floats never encode to 0).
+    ewma_bits: AtomicU64,
+}
+
+impl CostModel {
+    /// Creates a model for one dispatch site. `initial_ns_per_unit` seeds
+    /// the estimate until the first measurement lands.
+    pub const fn new(name: &'static str, initial_ns_per_unit: f64) -> CostModel {
+        CostModel {
+            name,
+            initial_ns_per_unit,
+            ewma_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The site name (also reported as [`RegionStats::site`]).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current ns-per-unit estimate (the seed until a region has run).
+    pub fn ns_per_unit(&self) -> f64 {
+        match self.ewma_bits.load(Ordering::Relaxed) {
+            0 => self.initial_ns_per_unit,
+            bits => f64::from_bits(bits),
+        }
+    }
+
+    /// Predicted wall-clock cost of a region covering `units`.
+    pub fn predicted_ns(&self, units: u64) -> f64 {
+        self.ns_per_unit() * units as f64
+    }
+
+    /// Folds one measured region into the moving average. Lost updates
+    /// under concurrent recording are harmless — this steers scheduling,
+    /// never arithmetic.
+    pub fn record(&self, units: u64, elapsed_ns: u64) {
+        if units == 0 {
+            return;
+        }
+        let sample = elapsed_ns as f64 / units as f64;
+        let next = match self.ewma_bits.load(Ordering::Relaxed) {
+            0 => sample,
+            bits => 0.8 * f64::from_bits(bits) + 0.2 * sample,
+        };
+        self.ewma_bits
+            .store(next.max(1e-3).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sizes a region of `items` splittable pieces predicted to cost
+    /// `units · ns_per_unit`: inline below two grains, otherwise fork one
+    /// chunk per grain, capped by [`threads`] and `items`.
+    pub fn plan(&self, items: usize, units: u64) -> Plan {
+        plan_for(threads(), items, self.predicted_ns(units))
+    }
+
+    /// Whether forking this region should *win wall-clock time*, i.e. the
+    /// region is big enough to fork **and** the hardware can actually run
+    /// chunks concurrently. On a 1-core machine `TP_THREADS=4` still forks
+    /// (so the pool stays exercised) but can never profit; regression
+    /// tests gate their speedup assertions on this.
+    pub fn predicts_win(&self, items: usize, units: u64) -> bool {
+        let concurrency = threads().min(hardware_threads());
+        matches!(
+            plan_for(concurrency, items, self.predicted_ns(units)),
+            Plan::Fork { .. }
+        )
+    }
+}
+
+/// The pure decision kernel behind [`CostModel::plan`].
+fn plan_for(workers: usize, items: usize, predicted_ns: f64) -> Plan {
+    if workers <= 1 || items < 2 {
+        return Plan::Inline;
+    }
+    let by_cost = (predicted_ns / grain_ns()) as usize;
+    let chunks = by_cost.min(workers).min(items);
+    if chunks < 2 {
+        Plan::Inline
+    } else {
+        Plan::Fork { chunks }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Region observer (tp-obs bridge without a tp-obs dependency)
 // ---------------------------------------------------------------------------
 
@@ -142,6 +296,12 @@ pub struct RegionStats {
     /// Largest chunk, in items (max − min ≤ 1 by construction; the hook
     /// records it anyway so the invariant is observable).
     pub max_chunk: usize,
+    /// Whether the cost model ran this region inline on the submitting
+    /// thread instead of forking it (always `false` for the non-costed
+    /// entry points, which decide by thread count alone).
+    pub inlined: bool,
+    /// Cost-model site name; empty for non-costed regions.
+    pub site: &'static str,
 }
 
 static OBSERVER: OnceLock<fn(&RegionStats)> = OnceLock::new();
@@ -155,6 +315,10 @@ pub fn set_observer(hook: fn(&RegionStats)) -> bool {
 }
 
 fn observe(items: usize, ranges: &[Range<usize>]) {
+    observe_site(items, ranges, false, "");
+}
+
+fn observe_site(items: usize, ranges: &[Range<usize>], inlined: bool, site: &'static str) {
     if let Some(hook) = OBSERVER.get() {
         let mut min_chunk = usize::MAX;
         let mut max_chunk = 0usize;
@@ -167,7 +331,17 @@ fn observe(items: usize, ranges: &[Range<usize>]) {
             chunks: ranges.len(),
             min_chunk: if ranges.is_empty() { 0 } else { min_chunk },
             max_chunk,
+            inlined,
+            site,
         });
+    }
+}
+
+/// Reports a region the cost model kept inline (one "chunk" covering all
+/// items on the submitting thread).
+fn observe_inline(items: usize, site: &'static str) {
+    if OBSERVER.get().is_some() {
+        observe_site(items, std::slice::from_ref(&(0..items)), true, site);
     }
 }
 
@@ -397,13 +571,32 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let ranges = chunk_ranges(len);
+    if ranges.is_empty() {
+        return Vec::new();
+    }
+    observe(len, &ranges);
+    map_items_over(len, &ranges, f)
+}
+
+/// Ordered map over an explicit chunking (shared by [`map_items`] and the
+/// cost-model dispatch): each item's result lands in its own slot, vector
+/// assembled in index order.
+fn map_items_over<R, F>(len: usize, ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if ranges.is_empty() {
+        return Vec::new();
+    }
     let slots: Vec<UnsafeCell<Option<R>>> = std::iter::repeat_with(|| UnsafeCell::new(None))
         .take(len)
         .collect();
     {
         let shared = Slots(&slots);
-        for_each_chunk(len, |_, range| {
-            for i in range {
+        execute(ranges.len(), &|c| {
+            for i in ranges[c].clone() {
                 // SAFETY: `i` belongs to exactly one chunk (disjoint
                 // ranges), so this is the only writer of slot `i`.
                 unsafe { shared.set(i, f(i)) };
@@ -414,6 +607,42 @@ where
         .into_iter()
         .map(|s| s.into_inner().expect("every chunk fills its slots"))
         .collect()
+}
+
+/// Ordered map dispatched through a [`CostModel`]: regions the model sizes
+/// below two grains run inline on the calling thread (reported to the
+/// observer with `inlined = true`); larger regions fork into one chunk per
+/// grain. `units` is the site's cost proxy (see [`CostModel`]); the
+/// measured region cost is folded back into the model either way.
+///
+/// Inline or forked, the output is `[f(0), …, f(len-1)]` — the plan can
+/// only move work between threads, never change a result.
+///
+/// # Panics
+///
+/// Re-raises the first panic any item raised.
+pub fn map_items_costed<R, F>(model: &CostModel, len: usize, units: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let t0 = Instant::now();
+    let out = match model.plan(len, units) {
+        Plan::Inline => {
+            observe_inline(len, model.name);
+            (0..len).map(f).collect()
+        }
+        Plan::Fork { chunks } => {
+            let ranges = split_ranges(len, chunks);
+            observe_site(len, &ranges, false, model.name);
+            map_items_over(len, &ranges, f)
+        }
+    };
+    model.record(units, t0.elapsed().as_nanos() as u64);
+    out
 }
 
 /// Parallel ordered map over chunks: returns one `f(chunk_index, range)`
@@ -506,12 +735,62 @@ where
         return;
     }
     observe(rows, &ranges);
+    rows_mut_over(data, width, &ranges, f);
+}
+
+/// [`for_each_rows_mut`] dispatched through a [`CostModel`] (see
+/// [`map_items_costed`] for the inline/fork semantics). `units` is the
+/// site's cost proxy — for a dense kernel typically the flop count, which
+/// unlike the row count captures how expensive each row is.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `data.len()` is not a multiple of `width`;
+/// re-raises the first panic any chunk raised.
+pub fn for_each_rows_mut_costed<T, F>(
+    model: &CostModel,
+    data: &mut [T],
+    width: usize,
+    units: u64,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    assert!(width > 0, "row width must be positive");
+    assert_eq!(data.len() % width, 0, "data must be whole rows");
+    let rows = data.len() / width;
+    if rows == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    match model.plan(rows, units) {
+        Plan::Inline => {
+            observe_inline(rows, model.name);
+            f(0, 0..rows, data);
+        }
+        Plan::Fork { chunks } => {
+            let ranges = split_ranges(rows, chunks);
+            observe_site(rows, &ranges, false, model.name);
+            rows_mut_over(data, width, &ranges, f);
+        }
+    }
+    model.record(units, t0.elapsed().as_nanos() as u64);
+}
+
+/// Row-disjoint dispatch over an explicit chunking (shared by the plain
+/// and costed rows-mut entry points).
+fn rows_mut_over<T, F>(data: &mut [T], width: usize, ranges: &[Range<usize>], f: F)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    let rows = data.len() / width;
     if ranges.len() == 1 {
         f(0, 0..rows, data);
         return;
     }
     let base = RawRows(data.as_mut_ptr());
-    let ranges = &ranges;
     execute(ranges.len(), &|c| {
         let r = ranges[c].clone();
         // SAFETY: row ranges are disjoint and in-bounds, so each chunk
@@ -714,5 +993,151 @@ mod tests {
         let mut empty: Vec<f32> = Vec::new();
         for_each_rows_mut(&mut empty, 4, |_, _, _| panic!("must not run"));
         assert_eq!(reduce_blocks(0, 8, |_| 1u32, |a, b| a + b), None);
+        let m = CostModel::new("zero", 1.0);
+        assert!(map_items_costed(&m, 0, 0, |i| i).is_empty());
+        for_each_rows_mut_costed(&m, &mut empty, 4, 0, |_, _, _| panic!("must not run"));
+    }
+
+    /// Units that predict `grains` grains of work on a model with
+    /// 1 ns/unit seed.
+    fn units_for_grains(grains: f64) -> u64 {
+        (grains * grain_ns()) as u64
+    }
+
+    #[test]
+    fn cost_model_plans_by_predicted_grains() {
+        let _guard = override_lock();
+        set_threads(4);
+        let m = CostModel::new("plan", 1.0);
+        // Below two grains: inline, regardless of item count.
+        assert_eq!(m.plan(1000, units_for_grains(1.5)), Plan::Inline);
+        // Ten grains of work but only 4 workers: one chunk per worker.
+        assert_eq!(m.plan(1000, units_for_grains(10.0)), Plan::Fork { chunks: 4 });
+        // Three grains: chunk count tracks the work, not the worker count.
+        assert_eq!(m.plan(1000, units_for_grains(3.0)), Plan::Fork { chunks: 3 });
+        // Indivisible regions stay inline no matter how costly.
+        assert_eq!(m.plan(1, units_for_grains(100.0)), Plan::Inline);
+        // Chunks never exceed items.
+        assert_eq!(m.plan(2, units_for_grains(100.0)), Plan::Fork { chunks: 2 });
+        set_threads(1);
+        // A single worker never forks.
+        assert_eq!(m.plan(1000, units_for_grains(100.0)), Plan::Inline);
+        set_threads(0);
+    }
+
+    #[test]
+    fn cost_model_record_folds_ewma() {
+        let m = CostModel::new("ewma", 7.0);
+        assert_eq!(m.ns_per_unit(), 7.0); // seed until first measurement
+        m.record(10, 1000); // sample: 100 ns/unit replaces the seed
+        assert!((m.ns_per_unit() - 100.0).abs() < 1e-9);
+        m.record(10, 2000); // 0.8·100 + 0.2·200 = 120
+        assert!((m.ns_per_unit() - 120.0).abs() < 1e-9);
+        m.record(0, 999); // zero-unit regions are ignored
+        assert!((m.ns_per_unit() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicts_win_requires_real_hardware_concurrency() {
+        let _guard = override_lock();
+        set_threads(4);
+        let m = CostModel::new("win", 1.0);
+        let big = units_for_grains(100.0);
+        // Tiny regions never predict a win.
+        assert!(!m.predicts_win(1000, units_for_grains(0.5)));
+        if hardware_threads() >= 2 {
+            assert!(m.predicts_win(1000, big));
+        } else {
+            // On a 1-core machine TP_THREADS=4 still forks (plan) but can
+            // never profit (predicts_win).
+            assert_eq!(m.plan(1000, big), Plan::Fork { chunks: 4 });
+            assert!(!m.predicts_win(1000, big));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn costed_map_is_ordered_and_thread_count_independent() {
+        let _guard = override_lock();
+        let work = |i: usize| {
+            let mut acc = 0.3f32 * (i as f32 + 1.0);
+            for k in 1..40u32 {
+                acc = (acc * 1.0000093 + (k as f32).cos()).fract();
+            }
+            acc
+        };
+        // Fresh models per run so the recorded EWMA cannot leak between
+        // passes and change the plan mid-comparison — and even if it did,
+        // the bits must not move (that is the property under test).
+        let run = |threads: usize, units: u64| {
+            set_threads(threads);
+            let m = CostModel::new("bits", 1.0);
+            let out: Vec<u32> = map_items_costed(&m, 501, units, work)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            set_threads(0);
+            out
+        };
+        let inline_units = units_for_grains(0.1);
+        let fork_units = units_for_grains(50.0);
+        let baseline = run(1, inline_units);
+        assert_eq!(baseline, run(4, inline_units), "inline plan");
+        assert_eq!(baseline, run(4, fork_units), "forked plan");
+        for (i, bits) in baseline.iter().enumerate() {
+            assert_eq!(*bits, work(i).to_bits(), "order preserved at {i}");
+        }
+    }
+
+    #[test]
+    fn costed_rows_mut_fills_every_row_under_both_plans() {
+        let _guard = override_lock();
+        set_threads(4);
+        for units in [units_for_grains(0.1), units_for_grains(50.0)] {
+            let m = CostModel::new("rows", 1.0);
+            let mut data = vec![0u64; 61 * 3];
+            for_each_rows_mut_costed(&m, &mut data, 3, units, |_, rows, slice| {
+                for (local, row) in rows.clone().enumerate() {
+                    for k in 0..3 {
+                        slice[local * 3 + k] += (row * 3 + k) as u64 + 1;
+                    }
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as u64 + 1, "units={units} cell {i}");
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn costed_dispatch_reports_inline_regions() {
+        static INLINED: AtomicU64 = AtomicU64::new(0);
+        static FORKED: AtomicU64 = AtomicU64::new(0);
+        fn hook(s: &RegionStats) {
+            if s.site == "obs-site" {
+                if s.inlined {
+                    INLINED.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    FORKED.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let _guard = override_lock();
+        // First install wins; only assert when our hook is the one installed.
+        let _ = set_observer(hook);
+        if OBSERVER.get() != Some(&(hook as fn(&RegionStats))) {
+            return;
+        }
+        set_threads(4);
+        let m = CostModel::new("obs-site", 1.0);
+        let _ = map_items_costed(&m, 64, units_for_grains(0.1), |i| i);
+        assert_eq!(INLINED.load(Ordering::Relaxed), 1);
+        assert_eq!(FORKED.load(Ordering::Relaxed), 0);
+        let m2 = CostModel::new("obs-site", 1.0);
+        let _ = map_items_costed(&m2, 64, units_for_grains(50.0), |i| i);
+        set_threads(0);
+        assert_eq!(INLINED.load(Ordering::Relaxed), 1);
+        assert_eq!(FORKED.load(Ordering::Relaxed), 1);
     }
 }

@@ -169,10 +169,12 @@ pub fn route_net(
     }
 }
 
-/// How many nets a circuit must hold before routing fans out to tp-par.
-/// Only selects serial vs parallel — each net's result is identical either
-/// way, so the threshold cannot change any number.
-const PAR_MIN_NETS: usize = 16;
+/// Adaptive dispatch for per-net routing: items are nets, units are net
+/// *edges* (driver→sink arcs), since a net's routing cost scales with its
+/// sink count, not the net count. Only selects serial vs parallel — each
+/// net's result is identical either way, so the plan cannot change any
+/// number.
+static ROUTE_COST: tp_par::CostModel = tp_par::CostModel::new("route.nets", 300.0);
 
 /// Routes every net of `circuit`.
 ///
@@ -195,16 +197,12 @@ pub fn route_circuit(
             h.record(circuit.net(n).sinks.len() as u64);
         }
     }
-    let nets: Vec<RoutedNet> = if circuit.num_nets() >= PAR_MIN_NETS && tp_par::threads() > 1 {
-        tp_par::map_items(circuit.num_nets(), |i| {
-            route_net(circuit, placement, library, config, NetId::new(i))
-        })
-    } else {
-        circuit
-            .net_ids()
-            .map(|n| route_net(circuit, placement, library, config, n))
-            .collect()
-    };
+    let nets: Vec<RoutedNet> = tp_par::map_items_costed(
+        &ROUTE_COST,
+        circuit.num_nets(),
+        circuit.num_net_edges() as u64,
+        |i| route_net(circuit, placement, library, config, NetId::new(i)),
+    );
     tp_obs::metrics::count("route.nets_routed", nets.len() as u64);
     let total_wirelength = nets.iter().map(|n| n.wirelength).sum();
     Routing {

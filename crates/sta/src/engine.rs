@@ -94,27 +94,17 @@ impl<'a> StaEngine<'a> {
             let _fwd_span = tp_obs::span!("sta.forward", pins = n);
             for level in topology.levels() {
                 tp_obs::metrics::count("sta.pins_propagated", level.len() as u64);
-                if level.len() >= PAR_MIN_PINS && tp_par::threads() > 1 {
-                    // Compute every pin of the level from the immutable
-                    // lower-level state, then apply in level order.
-                    let updates = tp_par::map_items(level.len(), |i| {
-                        self.compute_pin(circuit, topology, routing, level[i], &at, &slew)
-                    });
-                    for (&pin, update) in level.iter().zip(updates) {
-                        apply_update(pin, update, &mut at, &mut slew, &mut cell_edge_delay);
-                    }
-                } else {
-                    for &pin in level {
-                        self.propagate_pin(
-                            circuit,
-                            topology,
-                            routing,
-                            pin,
-                            &mut at,
-                            &mut slew,
-                            &mut cell_edge_delay,
-                        );
-                    }
+                // Compute every pin of the level from the immutable
+                // lower-level state, then apply in level order; the cost
+                // model decides inline-vs-fork per level.
+                let updates = tp_par::map_items_costed(
+                    &FWD_COST,
+                    level.len(),
+                    level.len() as u64,
+                    |i| self.compute_pin(circuit, topology, routing, level[i], &at, &slew),
+                );
+                for (&pin, update) in level.iter().zip(updates) {
+                    apply_update(pin, update, &mut at, &mut slew, &mut cell_edge_delay);
                 }
             }
         }
@@ -165,31 +155,18 @@ impl<'a> StaEngine<'a> {
         // levels in reverse sees only finalized sink RATs — the same
         // per-pin fold as a reverse topological order, level-parallel.
         for level in topology.levels().iter().rev() {
-            if level.len() >= PAR_MIN_PINS && tp_par::threads() > 1 {
-                let rows = tp_par::map_items(level.len(), |i| {
-                    self.compute_rat_pin(
-                        circuit,
-                        topology,
-                        level[i],
-                        &rat,
-                        &net_edge_delay,
-                        &cell_edge_delay,
-                    )
-                });
-                for (&pin, row) in level.iter().zip(rows) {
-                    rat[pin.index()] = row;
-                }
-            } else {
-                for &pin in level {
-                    rat[pin.index()] = self.compute_rat_pin(
-                        circuit,
-                        topology,
-                        pin,
-                        &rat,
-                        &net_edge_delay,
-                        &cell_edge_delay,
-                    );
-                }
+            let rows = tp_par::map_items_costed(&BWD_COST, level.len(), level.len() as u64, |i| {
+                self.compute_rat_pin(
+                    circuit,
+                    topology,
+                    level[i],
+                    &rat,
+                    &net_edge_delay,
+                    &cell_edge_delay,
+                )
+            });
+            for (&pin, row) in level.iter().zip(rows) {
+                rat[pin.index()] = row;
             }
         }
 
@@ -220,11 +197,16 @@ impl<'a> StaEngine<'a> {
 }
 
 
-/// How many pins a level must hold before the sweep fans out to tp-par.
-/// Below this the fork-join handoff costs more than the pin kernels; the
-/// threshold only selects serial-vs-parallel, never the arithmetic, so it
+/// Adaptive dispatch for the forward level sweep: items and units are the
+/// level's pins, seeded near the measured per-pin kernel cost. The model
+/// inlines small levels (the fork-join handoff used to cost more than the
+/// pin kernels at `TP_SCALE=0.02`) and sizes chunks for big ones; either
+/// way it only selects serial-vs-parallel, never the arithmetic, so it
 /// cannot affect results.
-const PAR_MIN_PINS: usize = 32;
+static FWD_COST: tp_par::CostModel = tp_par::CostModel::new("sta.forward_level", 200.0);
+
+/// Adaptive dispatch for the backward (RAT) level sweep.
+static BWD_COST: tp_par::CostModel = tp_par::CostModel::new("sta.backward_level", 100.0);
 
 /// One pin's recomputed forward state: its arrival/slew rows plus the
 /// cell-arc delays its fan-in lookup produced. Pure output of

@@ -6,7 +6,7 @@
 //!
 //! # Design
 //!
-//! A [`Tensor`] is a cheaply clonable handle (`Rc`) to a node in a dynamic
+//! A [`Tensor`] is a cheaply clonable handle (`Arc`) to a node in a dynamic
 //! computation graph. Every differentiable operation records its parents and
 //! a backward closure; [`Tensor::backward`] runs a reverse topological sweep
 //! and accumulates gradients into every reachable node that
@@ -36,8 +36,12 @@
 //! # }
 //! ```
 //!
-//! Tensors are **not** `Send`/`Sync` (they share state through `Rc`): the
-//! training loops in this workspace are single-threaded by design.
+//! Tensors are `Send + Sync`: whole graphs can be built and differentiated
+//! on tp-par workers. Concurrent backward sweeps that share parameter
+//! leaves divert their leaf gradients through [`collect_grads`], whose
+//! thread-local sink keeps the shared grad slots race-free; the trainer
+//! then folds per-design gradients in a fixed block order, so parallel
+//! training stays bit-identical at any thread count.
 
 mod autograd;
 mod error;
@@ -47,6 +51,7 @@ mod tensor;
 
 pub mod ops;
 
+pub use autograd::collect_grads;
 pub use error::TensorError;
 pub use init::{kaiming_uniform, xavier_uniform};
 pub use shape::Shape;

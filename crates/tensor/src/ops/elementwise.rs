@@ -214,7 +214,7 @@ impl Tensor {
     fn unary_op(
         &self,
         fwd: impl Fn(f32) -> f32,
-        dfdx: impl Fn(f32, f32) -> f32 + 'static,
+        dfdx: impl Fn(f32, f32) -> f32 + Send + Sync + 'static,
     ) -> Tensor {
         let input = self.to_vec();
         let out: Vec<f32> = input.iter().map(|&x| fwd(x)).collect();

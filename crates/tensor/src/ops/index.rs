@@ -8,7 +8,7 @@
 //! 3. [`Tensor::segment_sum`] / [`Tensor::segment_max`] to reduce edge
 //!    messages onto destination nodes — the paper's two reduction channels.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::tensor::BackwardFn;
 use crate::{Shape, Tensor};
@@ -42,10 +42,10 @@ impl Tensor {
             out.extend_from_slice(&data[i * d..(i + 1) * d]);
         }
         drop(data);
-        let index: Rc<Vec<usize>> = Rc::new(index.to_vec());
+        let index: Arc<Vec<usize>> = Arc::new(index.to_vec());
         let rows = index.len();
         let src = self.clone();
-        let idx = Rc::clone(&index);
+        let idx = Arc::clone(&index);
         let backward: BackwardFn = Box::new(move |g: &[f32]| {
             if src.requires_grad() {
                 let mut gs = vec![0.0; n * d];
@@ -81,7 +81,7 @@ impl Tensor {
             }
         }
         drop(data);
-        let seg: Rc<Vec<usize>> = Rc::new(segments.to_vec());
+        let seg: Arc<Vec<usize>> = Arc::new(segments.to_vec());
         let src = self.clone();
         let backward: BackwardFn = Box::new(move |g: &[f32]| {
             if src.requires_grad() {
@@ -131,9 +131,9 @@ impl Tensor {
                 *v = 0.0; // empty segment
             }
         }
-        let argmax = Rc::new(argmax);
+        let argmax = Arc::new(argmax);
         let src = self.clone();
-        let am = Rc::clone(&argmax);
+        let am = Arc::clone(&argmax);
         let backward: BackwardFn = Box::new(move |g: &[f32]| {
             if src.requires_grad() {
                 let mut gs = vec![0.0; e * d];
@@ -174,7 +174,7 @@ impl Tensor {
             }
         }
         drop(data);
-        let idx: Rc<Vec<usize>> = Rc::new(index.to_vec());
+        let idx: Arc<Vec<usize>> = Arc::new(index.to_vec());
         let src = self.clone();
         let backward: BackwardFn = Box::new(move |g: &[f32]| {
             if src.requires_grad() {

@@ -24,29 +24,27 @@ fn gemm_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]
     }
 }
 
-/// Multiply-add cost below which a gemm stays serial — small MLP layers do
-/// not amortize the fork-join handoff.
-const PAR_MIN_FLOPS: usize = 64 * 1024;
+/// Adaptive dispatch for the gemm: units are multiply-adds (`m·k·n`), the
+/// seed assumes ~1 ns per multiply-add, and the model converges on the
+/// machine's measured throughput after a few regions. Replaces the old
+/// fixed `PAR_MIN_FLOPS` item-count threshold.
+static GEMM_COST: tp_par::CostModel = tp_par::CostModel::new("tensor.gemm", 1.0);
 
 /// Row-parallel gemm. Output rows depend only on the matching rows of `a`,
 /// so tp-par splits the row range across workers; each row's k-loop runs
 /// in the exact order of the serial kernel, keeping every accumulation
 /// bit-identical at any thread count (the determinism contract).
 fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    if m >= 2 && m * k * n >= PAR_MIN_FLOPS && tp_par::threads() > 1 {
-        tp_par::for_each_rows_mut(out, n, |_, rows, out_rows| {
-            gemm_rows(
-                &a[rows.start * k..rows.end * k],
-                b,
-                rows.len(),
-                k,
-                n,
-                out_rows,
-            );
-        });
-    } else {
-        gemm_rows(a, b, m, k, n, out);
-    }
+    tp_par::for_each_rows_mut_costed(&GEMM_COST, out, n, (m * k * n) as u64, |_, rows, out_rows| {
+        gemm_rows(
+            &a[rows.start * k..rows.end * k],
+            b,
+            rows.len(),
+            k,
+            n,
+            out_rows,
+        );
+    });
 }
 
 fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
@@ -176,8 +174,8 @@ mod tests {
 
     #[test]
     fn large_matmul_bits_are_thread_count_independent() {
-        // 96×48 × 48×40 = 184k multiply-adds — above PAR_MIN_FLOPS, so the
-        // row-parallel path engages at >1 thread. Flipping the global
+        // 96×48 × 48×40 = 184k multiply-adds — enough predicted work for
+        // the cost model to fork at >1 thread. Flipping the global
         // override mid-suite is safe precisely because of the property
         // under test: thread count never changes results.
         let (m, k, n) = (96usize, 48usize, 40usize);

@@ -1,44 +1,70 @@
-use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{
+    Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 use tp_rng::Rng;
 
 use crate::{Shape, TensorError};
 
-thread_local! {
-    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
-}
+/// Process-wide id source. Ids must be unique *across* threads because the
+/// backward sweep's visited set and the parallel-training gradient sink are
+/// both keyed by id, and a graph built on a worker may reference leaves
+/// created on the main thread.
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
 fn next_id() -> u64 {
-    NEXT_ID.with(|c| {
-        let id = c.get();
-        c.set(id + 1);
-        id
-    })
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Poison-safe read lock: a panicked region must not make the tape
+/// unusable — tensor state is always valid at rest.
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Backward closure: receives the gradient flowing into this node and
 /// accumulates gradients into the node's parents (which it captures).
-pub(crate) type BackwardFn = Box<dyn Fn(&[f32])>;
+/// `Send + Sync` so whole graphs can be built and differentiated on tp-par
+/// workers.
+pub(crate) type BackwardFn = Box<dyn Fn(&[f32]) + Send + Sync>;
 
 pub(crate) struct Inner {
     pub(crate) id: u64,
     pub(crate) shape: Shape,
-    pub(crate) data: RefCell<Vec<f32>>,
-    pub(crate) grad: RefCell<Option<Vec<f32>>>,
-    pub(crate) requires_grad: Cell<bool>,
+    /// Reader-writer lock rather than a mutex: graph building takes
+    /// overlapping read borrows of the *same* tensor (`x.matmul(&x)` reads
+    /// `x` twice on one thread), which readers permit. The locking
+    /// discipline is phase-based — writers (optimizer steps, fault
+    /// injection) never run concurrently with graph building or backward —
+    /// so the re-entrant read can never deadlock against a queued writer.
+    pub(crate) data: RwLock<Vec<f32>>,
+    pub(crate) grad: Mutex<Option<Vec<f32>>>,
+    pub(crate) requires_grad: AtomicBool,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
 }
 
 /// A dense `f32` tensor participating in a dynamic autograd graph.
 ///
-/// `Tensor` is a cheap handle (`Rc`); cloning shares storage and gradient.
-/// See the [crate docs](crate) for an overview and example.
+/// `Tensor` is a cheap reference-counted handle (`Arc`); cloning shares
+/// storage and gradient. The handle is `Send + Sync`, so forward/backward
+/// graphs can be evaluated on tp-par workers — shared-leaf gradient
+/// accumulation during parallel training goes through the thread-local
+/// sink installed by [`crate::collect_grads`], never through a shared
+/// slot. See the [crate docs](crate) for an overview and example.
 #[derive(Clone)]
 pub struct Tensor {
-    pub(crate) inner: Rc<Inner>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 impl Tensor {
@@ -132,12 +158,12 @@ impl Tensor {
 
     pub(crate) fn leaf(data: Vec<f32>, shape: Shape) -> Tensor {
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
                 shape,
-                data: RefCell::new(data),
-                grad: RefCell::new(None),
-                requires_grad: Cell::new(false),
+                data: RwLock::new(data),
+                grad: Mutex::new(None),
+                requires_grad: AtomicBool::new(false),
                 parents: Vec::new(),
                 backward: None,
             }),
@@ -155,12 +181,12 @@ impl Tensor {
     ) -> Tensor {
         let needs = parents.iter().any(Tensor::requires_grad);
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
                 shape,
-                data: RefCell::new(data),
-                grad: RefCell::new(None),
-                requires_grad: Cell::new(needs),
+                data: RwLock::new(data),
+                grad: Mutex::new(None),
+                requires_grad: AtomicBool::new(needs),
                 parents: if needs { parents } else { Vec::new() },
                 backward: if needs { Some(backward) } else { None },
             }),
@@ -191,28 +217,21 @@ impl Tensor {
         self.inner.shape.rank()
     }
 
-    /// Borrows the underlying data.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the data is mutably borrowed (e.g. inside an optimizer
-    /// update closure).
-    pub fn data(&self) -> Ref<'_, Vec<f32>> {
-        self.inner.data.borrow()
+    /// Read-locks the underlying data. Multiple overlapping reads are fine
+    /// (ops taking the same tensor on both sides rely on that).
+    pub fn data(&self) -> RwLockReadGuard<'_, Vec<f32>> {
+        read_recover(&self.inner.data)
     }
 
-    /// Mutably borrows the underlying data (used by optimizers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the data is already borrowed.
-    pub fn data_mut(&self) -> RefMut<'_, Vec<f32>> {
-        self.inner.data.borrow_mut()
+    /// Write-locks the underlying data (used by optimizers and fault
+    /// injection — phases during which no graph is being built).
+    pub fn data_mut(&self) -> RwLockWriteGuard<'_, Vec<f32>> {
+        write_recover(&self.inner.data)
     }
 
     /// Copies the data out into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.inner.data.borrow().clone()
+        self.data().clone()
     }
 
     /// The single value of a one-element tensor.
@@ -227,7 +246,7 @@ impl Tensor {
             "item() requires a single-element tensor, shape is {}",
             self.inner.shape
         );
-        self.inner.data.borrow()[0]
+        self.data()[0]
     }
 
     /// Element at row-major flat index `i`.
@@ -236,7 +255,7 @@ impl Tensor {
     ///
     /// Panics if `i` is out of bounds.
     pub fn at(&self, i: usize) -> f32 {
-        self.inner.data.borrow()[i]
+        self.data()[i]
     }
 
     /// Element at `(row, col)` of a rank-2 tensor.
@@ -246,7 +265,7 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or the indices are out of bounds.
     pub fn at2(&self, row: usize, col: usize) -> f32 {
         let (_, c) = self.inner.shape.as_2d();
-        self.inner.data.borrow()[row * c + col]
+        self.data()[row * c + col]
     }
 
     // ------------------------------------------------------------------
@@ -255,23 +274,23 @@ impl Tensor {
 
     /// Whether this tensor participates in gradient computation.
     pub fn requires_grad(&self) -> bool {
-        self.inner.requires_grad.get()
+        self.inner.requires_grad.load(Ordering::Relaxed)
     }
 
     /// Marks this tensor as a trainable leaf and returns it (builder style).
     pub fn with_grad(self) -> Tensor {
-        self.inner.requires_grad.set(true);
+        self.inner.requires_grad.store(true, Ordering::Relaxed);
         self
     }
 
     /// The accumulated gradient, if any.
     pub fn grad(&self) -> Option<Vec<f32>> {
-        self.inner.grad.borrow().clone()
+        lock_recover(&self.inner.grad).clone()
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        *lock_recover(&self.inner.grad) = None;
     }
 
     /// Returns a new leaf tensor sharing no graph history (data is copied).
@@ -281,7 +300,13 @@ impl Tensor {
 
     pub(crate) fn accumulate_grad(&self, g: &[f32]) {
         debug_assert_eq!(g.len(), self.numel(), "gradient length mismatch");
-        let mut slot = self.inner.grad.borrow_mut();
+        // Under a gradient sink (parallel per-design training) registered
+        // leaves divert into thread-local storage so concurrent backward
+        // sweeps never touch the shared slot.
+        if crate::autograd::sink_accumulate(self.inner.id, g) {
+            return;
+        }
+        let mut slot = lock_recover(&self.inner.grad);
         match slot.as_mut() {
             Some(existing) => {
                 for (e, &v) in existing.iter_mut().zip(g) {
@@ -299,15 +324,15 @@ impl Tensor {
     /// Panics if `g.len()` differs from the element count.
     pub fn replace_grad(&self, g: Vec<f32>) {
         assert_eq!(g.len(), self.numel(), "gradient length mismatch");
-        *self.inner.grad.borrow_mut() = Some(g);
+        *lock_recover(&self.inner.grad) = Some(g);
     }
 
     /// Applies `f(data, grad)` to the parameter in place; no-op when no
     /// gradient has been accumulated. Used by optimizers.
     pub fn apply_grad_update<F: FnMut(&mut [f32], &[f32])>(&self, mut f: F) {
-        let grad = self.inner.grad.borrow();
+        let grad = lock_recover(&self.inner.grad);
         if let Some(g) = grad.as_ref() {
-            let mut data = self.inner.data.borrow_mut();
+            let mut data = self.data_mut();
             f(&mut data, g);
         }
     }
@@ -319,7 +344,7 @@ impl Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let data = self.inner.data.borrow();
+        let data = self.data();
         let preview: Vec<f32> = data.iter().take(8).copied().collect();
         f.debug_struct("Tensor")
             .field("shape", &self.inner.shape.dims())
@@ -380,5 +405,25 @@ mod tests {
         let a = Tensor::ones(&[2]).with_grad();
         let b = a.detach();
         assert!(!b.requires_grad());
+    }
+
+    #[test]
+    fn tensor_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..100).map(|_| Tensor::scalar(0.0).id()).collect::<Vec<u64>>()))
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "no id collides across threads");
     }
 }

@@ -3,9 +3,10 @@
 # under results/bench/.
 #
 # Usage: scripts/bench.sh [--smoke]
-#   --smoke   shrink every benchmark to 3 samples × 2 ms (TP_BENCH_FAST),
-#             for CI: verifies the harness and the JSON artifacts, not
-#             the numbers.
+#   --smoke   shrink every benchmark to 3 samples × 2 ms (TP_BENCH_FAST)
+#             and write to a throwaway directory, for CI: verifies the
+#             harness and the JSON artifacts, not the numbers, and never
+#             touches the committed results/bench/ files.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +15,12 @@ if [ "${1:-}" = "--smoke" ]; then
     SMOKE=1
 fi
 
-OUT_DIR="$PWD/results/bench"
+if [ "$SMOKE" = 1 ]; then
+    OUT_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OUT_DIR"' EXIT
+else
+    OUT_DIR="$PWD/results/bench"
+fi
 mkdir -p "$OUT_DIR"
 
 echo "== bench: building (release, offline) =="
@@ -37,10 +43,15 @@ run_suite() {
     fi
 }
 
+# The main pass pins TP_THREADS=4 explicitly (overridable from the
+# environment): the speedup comparison against the threads1/ baseline is
+# only meaningful at a fixed, recorded worker count, and "default" would
+# silently resolve to hardware_threads() — 1 on a single-core CI box.
+export TP_THREADS="${TP_THREADS:-4}"
 export TP_BENCH_OUT="$OUT_DIR"
 SUITES=(train sta engines models tensor_ops)
 for suite in "${SUITES[@]}"; do
-    echo "== bench: $suite (TP_THREADS=${TP_THREADS:-default}) =="
+    echo "== bench: $suite (TP_THREADS=$TP_THREADS) =="
     run_suite "$suite"
 done
 
@@ -54,5 +65,5 @@ for suite in sta train; do
     TP_THREADS=1 run_suite "$suite"
 done
 
-echo "bench: OK — artifacts in results/bench/ (+ threads1/ baseline)"
+echo "bench: OK — artifacts in $OUT_DIR (+ threads1/ baseline)"
 ls -l "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/threads1/BENCH_*.json

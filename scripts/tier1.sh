@@ -58,6 +58,18 @@ if grep -n '^\[dependencies\]' crates/par/Cargo.toml; then
     exit 1
 fi
 
+echo "== tier1: autograd tape stays Arc-based (no Rc in the tape) =="
+# The tape must remain Send + Sync so per-design gradients can evaluate on
+# pool workers. An Rc sneaking back into the tensor core would compile fine
+# single-threaded and then poison every parallel training path.
+if grep -n 'Rc<' crates/tensor/src/tensor.rs crates/tensor/src/autograd.rs; then
+    echo "tier1: FAIL — Rc found in the autograd tape; it must stay Arc" >&2
+    exit 1
+fi
+
+echo "== tier1: bench harness smoke (scratch dir, fast samples) =="
+scripts/bench.sh --smoke
+
 echo "== tier1: NaN-safe ordering (no Ordering::Equal fallbacks) =="
 # partial_cmp(..).unwrap_or(Equal) silently makes NaN compare equal to
 # everything, which turns sorts nondeterministic. total_cmp is the fix;

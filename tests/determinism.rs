@@ -333,6 +333,81 @@ fn thread_count_is_bit_identical() {
     let _ = std::fs::remove_dir_all(&scratch);
 }
 
+/// The parallel per-design gradient path (`design_batch` ≥ 2) must honor
+/// the same contract as everything else: worker gradients land in
+/// per-thread sinks and fold in fixed block order, so the whole batched
+/// training trajectory — losses, predictions, checkpoint bytes — is
+/// bit-identical whether the batch evaluates on 1 thread or 4.
+#[test]
+fn batched_training_is_bit_identical_across_thread_counts() {
+    let signature = |threads: usize, ckpt_dir: &std::path::Path| -> (Vec<u32>, Vec<u8>) {
+        timing_predict::par::set_threads(threads);
+        let seed = seed_from_env("TP_SEED", 42);
+        let library = Library::synthetic_sky130(0);
+        let dataset = Dataset::build_suite(
+            &library,
+            &DatasetConfig {
+                generator: GeneratorConfig {
+                    scale: 0.001,
+                    seed,
+                    depth: Some(6),
+                },
+                ..Default::default()
+            },
+        );
+        let mut trainer = Trainer::new(
+            TimingGnn::new(&ModelConfig {
+                embed_dim: 4,
+                prop_dim: 6,
+                hidden: vec![8],
+                seed,
+                ablation: Default::default(),
+            }),
+            TrainConfig {
+                epochs: 2,
+                design_batch: 4,
+                ..Default::default()
+            },
+        );
+        let report = trainer.fit_with(
+            &dataset,
+            &FitOptions {
+                checkpoint: Some(CheckpointPolicy::every_epoch(ckpt_dir)),
+                ..FitOptions::default()
+            },
+        );
+        let pred = trainer.predict(dataset.designs().first().expect("non-empty suite"));
+        let mut bits: Vec<u32> = report.epochs.iter().map(|e| e.total.to_bits()).collect();
+        for t in [&pred.arrival, &pred.slew, &pred.net_delay] {
+            bits.extend(t.to_vec().iter().map(|v| v.to_bits()));
+        }
+        let mut ckpt = Vec::new();
+        for epoch in 1..=2u64 {
+            ckpt.extend(
+                std::fs::read(timing_predict::gnn::checkpoint::checkpoint_path(
+                    ckpt_dir, epoch,
+                ))
+                .expect("checkpoint written"),
+            );
+        }
+        timing_predict::par::set_threads(0);
+        (bits, ckpt)
+    };
+
+    let _guard = threads_lock();
+    let scratch = std::env::temp_dir().join(format!("tp-det-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let (bits1, ckpt1) = signature(1, &scratch.join("t1"));
+    let (bits4, ckpt4) = signature(4, &scratch.join("t4"));
+
+    assert!(bits1.len() > 100, "signature too small: {}", bits1.len());
+    assert_eq!(bits1, bits4, "batched gradients changed float bits");
+    assert_eq!(ckpt1, ckpt4, "batched gradients changed checkpoint bytes");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 /// Forked RNG streams must not depend on which worker thread draws them:
 /// `root.fork(i)` keys the stream off `i` alone (tp-rng's fork is
 /// position-independent), so a parallel map over stream ids yields the
