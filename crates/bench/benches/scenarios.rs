@@ -1,0 +1,141 @@
+//! Benchmarks for the scenario sweep engine: end-to-end sweep throughput
+//! (cells/sec, with per-cell latency percentiles pulled from the
+//! `scenarios.cell_ns` tp-obs histogram) plus journal micro-benchmarks.
+//! Emits `BENCH_scenarios.json` (collected by `scripts/bench.sh`).
+//!
+//! `TP_BENCH_FAST` shrinks the swept grid along with the sample counts,
+//! so `scripts/bench.sh --smoke` stays cheap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tp_bench::micro::{black_box, BenchResult, Suite};
+use tp_liberty::Library;
+use tp_scenarios::{
+    ground_truth_evaluator, journal, run_sweep, SweepConfig, SweepGrid, JOURNAL_FILE,
+};
+
+fn bench_grid(fast: bool) -> SweepGrid {
+    let mut grid = SweepGrid::single("usb", 0.02);
+    grid.designs = vec!["usb".into(), "spm".into()];
+    grid.seeds = if fast { vec![0, 1] } else { (0..6).collect() };
+    grid
+}
+
+fn main() {
+    let mut suite = Suite::new("scenarios");
+    let fast = std::env::var("TP_BENCH_FAST").is_ok();
+    let library = Library::synthetic_sky130(1);
+    let grid = bench_grid(fast);
+    let out_base = std::env::temp_dir().join("tp-bench-scenarios");
+    let _ = std::fs::remove_dir_all(&out_base);
+
+    // End-to-end sweep: timed as a whole, with per-cell latency taken
+    // from the engine's own histogram. Each run sweeps a fresh directory
+    // so no cell is ever resumed away.
+    tp_obs::reset();
+    tp_obs::enable();
+    let runs = if fast { 2u64 } else { 5 };
+    let run_id = AtomicU64::new(0);
+    let t0 = std::time::Instant::now();
+    for _ in 0..runs {
+        let dir = out_base.join(format!("run{}", run_id.fetch_add(1, Ordering::Relaxed)));
+        let outcome = run_sweep(
+            &grid,
+            &SweepConfig::default(),
+            &dir,
+            ground_truth_evaluator(&library),
+        )
+        .expect("benchable sweep");
+        assert!(outcome.complete());
+        black_box(outcome);
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    tp_obs::disable();
+    let data = tp_obs::drain();
+    let cells = data.counter_value("scenarios.cells").max(1);
+    let hist = data
+        .histogram("scenarios.cell_ns")
+        .expect("engine records cell latency");
+    let ns_per_cell = elapsed_ns / cells as f64;
+    eprintln!(
+        "[scenarios] sweep throughput: {:.1} cells/sec over {cells} cells",
+        1e9 / ns_per_cell
+    );
+    suite.record(BenchResult {
+        name: format!("sweep/ns_per_cell ({} cells/run)", grid.len()),
+        median_ns: ns_per_cell,
+        mean_ns: ns_per_cell,
+        min_ns: hist.min as f64,
+        max_ns: hist.max as f64,
+        iters_per_sample: cells,
+        samples: runs as usize,
+    });
+    suite.record(BenchResult {
+        name: "sweep/cell_latency_p50".into(),
+        median_ns: hist.p50 as f64,
+        mean_ns: hist.sum as f64 / hist.count.max(1) as f64,
+        min_ns: hist.min as f64,
+        max_ns: hist.max as f64,
+        iters_per_sample: 1,
+        samples: hist.count as usize,
+    });
+    suite.record(BenchResult {
+        name: "sweep/cell_latency_p99".into(),
+        median_ns: hist.p99 as f64,
+        mean_ns: hist.sum as f64 / hist.count.max(1) as f64,
+        min_ns: hist.min as f64,
+        max_ns: hist.max as f64,
+        iters_per_sample: 1,
+        samples: hist.count as usize,
+    });
+
+    // Journal micro-benchmarks: append throughput and replay cost.
+    let header = journal::SweepHeader {
+        fingerprint: grid.fingerprint(0),
+        seed: 0,
+        cells: 256,
+    };
+    let record = journal::CellRecord {
+        cell: 0,
+        status: journal::CellStatus::Completed,
+        attempts: 1,
+        deadline_overrun: false,
+        metrics: journal::CellMetrics {
+            wns: -0.5,
+            tns: -4.0,
+            aux: 0.0,
+            pins: 512,
+        },
+        failure: String::new(),
+    };
+    let dir = out_base.join("journal-micro");
+    std::fs::create_dir_all(&dir).unwrap();
+    let append_id = AtomicU64::new(0);
+    suite.bench("journal/open_append_256", || {
+        let path = dir.join(format!(
+            "j{}-{JOURNAL_FILE}",
+            append_id.fetch_add(1, Ordering::Relaxed)
+        ));
+        let (mut j, _) = journal::Journal::open(&path, &header).expect("fresh journal");
+        for cell in 0..256u64 {
+            let mut r = record.clone();
+            r.cell = cell;
+            j.append(&r).expect("append");
+        }
+        std::fs::remove_file(path).expect("cleanup");
+    });
+
+    let replay_path = dir.join(JOURNAL_FILE);
+    let (mut j, _) = journal::Journal::open(&replay_path, &header).expect("fresh journal");
+    for cell in 0..256u64 {
+        let mut r = record.clone();
+        r.cell = cell;
+        j.append(&r).expect("append");
+    }
+    drop(j);
+    let bytes = std::fs::read(&replay_path).expect("journal bytes");
+    suite.bench("journal/replay_256", || journal::replay(black_box(&bytes)));
+
+    suite.finish();
+    let _ = std::fs::remove_dir_all(&out_base);
+}

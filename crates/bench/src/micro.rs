@@ -133,6 +133,24 @@ impl Suite {
         self.results.push(result);
     }
 
+    /// Registers an externally-measured result — e.g. percentiles pulled
+    /// from a `tp-obs` histogram over a run the suite did not time
+    /// iteration by iteration — so it lands in the same table and
+    /// `BENCH_*.json` as the timed benchmarks.
+    pub fn record(&mut self, result: BenchResult) {
+        eprintln!(
+            "[{}] {}: median {} (min {}, max {}, {}x{} iters)",
+            self.name,
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+    }
+
     /// Timed results registered so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results

@@ -16,19 +16,44 @@
 //!   corruption/truncation and design-tensor poisoning, built on
 //!   [`tp_rng::prop::mutate_bytes`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tp_data::DesignGraph;
 use tp_rng::{Rng, StdRng};
 
-/// A declarative schedule of training-step faults.
+/// A fault injected into one scenario-sweep grid cell.
+///
+/// These exist so `tp-scenarios`' quarantine/retry/deadline paths are
+/// deterministically testable: the same plan fires the same fault at the
+/// same cell and attempt on every machine, mirroring
+/// [`FaultPlan::nan_grad_at`] for training steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFault {
+    /// The cell panics mid-evaluation.
+    Panic,
+    /// The cell hangs for this many milliseconds (an injected sleep) and
+    /// then completes normally — the input the watchdog-deadline path
+    /// needs.
+    Hang {
+        /// Injected stall, milliseconds.
+        ms: u64,
+    },
+    /// The cell completes but its result metrics are poisoned to NaN —
+    /// the degraded-result input to the retry/quarantine path.
+    NonFinite,
+}
+
+/// A declarative schedule of training-step and sweep-cell faults.
 ///
 /// Steps are indexed by the trainer's global step counter (which survives
-/// checkpoint/resume), so a plan means the same thing in a resumed run as
-/// in an uninterrupted one.
+/// checkpoint/resume), and cells by their sweep-grid index (which survives
+/// journal/resume), so a plan means the same thing in a resumed run as in
+/// an uninterrupted one.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     nan_grad_steps: BTreeSet<u64>,
+    /// cell index → (fault, number of leading attempts it fires on).
+    cell_faults: BTreeMap<u64, (CellFault, u32)>,
 }
 
 impl FaultPlan {
@@ -41,6 +66,7 @@ impl FaultPlan {
     pub fn nan_grad_at(steps: impl IntoIterator<Item = u64>) -> FaultPlan {
         FaultPlan {
             nan_grad_steps: steps.into_iter().collect(),
+            ..FaultPlan::default()
         }
     }
 
@@ -49,9 +75,50 @@ impl FaultPlan {
         self.nan_grad_steps.contains(&step)
     }
 
+    /// Adds `fault` at grid cell `cell`, firing on the first `attempts`
+    /// attempts (1 models a transient fault the first retry clears;
+    /// [`u32::MAX`] a persistent one that exhausts every retry and forces
+    /// quarantine). Chainable to compose multi-cell plans.
+    pub fn with_cell_fault(mut self, cell: u64, fault: CellFault, attempts: u32) -> FaultPlan {
+        self.cell_faults.insert(cell, (fault, attempts));
+        self
+    }
+
+    /// Transient panic at each listed cell (first attempt only).
+    pub fn panic_at_cell(cells: impl IntoIterator<Item = u64>) -> FaultPlan {
+        cells.into_iter().fold(FaultPlan::none(), |p, c| {
+            p.with_cell_fault(c, CellFault::Panic, 1)
+        })
+    }
+
+    /// Transient `ms`-millisecond hang at each listed cell (first attempt
+    /// only).
+    pub fn hang_at_cell(cells: impl IntoIterator<Item = u64>, ms: u64) -> FaultPlan {
+        cells.into_iter().fold(FaultPlan::none(), |p, c| {
+            p.with_cell_fault(c, CellFault::Hang { ms }, 1)
+        })
+    }
+
+    /// Transient non-finite result at each listed cell (first attempt
+    /// only).
+    pub fn non_finite_at_cell(cells: impl IntoIterator<Item = u64>) -> FaultPlan {
+        cells.into_iter().fold(FaultPlan::none(), |p, c| {
+            p.with_cell_fault(c, CellFault::NonFinite, 1)
+        })
+    }
+
+    /// The fault (if any) that fires on attempt `attempt` (1-based) of
+    /// grid cell `cell`.
+    pub fn cell_fault(&self, cell: u64, attempt: u32) -> Option<CellFault> {
+        match self.cell_faults.get(&cell) {
+            Some(&(fault, attempts)) if attempt <= attempts => Some(fault),
+            _ => None,
+        }
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.nan_grad_steps.is_empty()
+        self.nan_grad_steps.is_empty() && self.cell_faults.is_empty()
     }
 }
 
@@ -122,6 +189,38 @@ mod tests {
         assert!(!plan.injects_nan_grad(4));
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn cell_faults_fire_on_leading_attempts_only() {
+        let plan = FaultPlan::panic_at_cell([2])
+            .with_cell_fault(5, CellFault::NonFinite, 3)
+            .with_cell_fault(9, CellFault::Hang { ms: 40 }, u32::MAX);
+        assert_eq!(plan.cell_fault(2, 1), Some(CellFault::Panic));
+        assert_eq!(plan.cell_fault(2, 2), None); // transient: retry sees clean run
+        assert_eq!(plan.cell_fault(5, 3), Some(CellFault::NonFinite));
+        assert_eq!(plan.cell_fault(5, 4), None);
+        assert_eq!(plan.cell_fault(9, 1000), Some(CellFault::Hang { ms: 40 }));
+        assert_eq!(plan.cell_fault(4, 1), None);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn cell_fault_constructors_are_transient() {
+        for plan in [
+            FaultPlan::panic_at_cell([0, 4]),
+            FaultPlan::hang_at_cell([0, 4], 10),
+            FaultPlan::non_finite_at_cell([0, 4]),
+        ] {
+            assert!(plan.cell_fault(0, 1).is_some());
+            assert!(plan.cell_fault(0, 2).is_none());
+            assert!(plan.cell_fault(4, 1).is_some());
+            assert!(plan.cell_fault(1, 1).is_none());
+        }
+        // Training-step and cell faults compose in one plan.
+        let both = FaultPlan::nan_grad_at([1]).with_cell_fault(2, CellFault::Panic, 1);
+        assert!(both.injects_nan_grad(1));
+        assert_eq!(both.cell_fault(2, 1), Some(CellFault::Panic));
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod prop;
 mod train;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use faultinject::{FaultInjector, FaultPlan};
+pub use faultinject::{CellFault, FaultInjector, FaultPlan};
 pub use loss::{combined_loss, AuxMode, LossParts};
 pub use lutmod::LutModule;
 pub use model::{Ablation, ModelConfig, Prediction, TimingGnn};

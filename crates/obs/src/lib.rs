@@ -120,6 +120,27 @@ pub struct ObsData {
     pub metrics: Vec<MetricSnapshot>,
 }
 
+impl ObsData {
+    /// The value of counter `name`, or 0 if it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .find_map(|m| match m {
+                MetricSnapshot::Counter { name: n, value } if n == name => Some(*value),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// The summary of histogram `name`, if it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.metrics.iter().find_map(|m| match m {
+            MetricSnapshot::Histogram { name: n, summary } if n == name => Some(summary),
+            _ => None,
+        })
+    }
+}
+
 /// Takes all collected events and snapshots the metrics registry.
 ///
 /// Metrics are cumulative across drains; call [`reset`] to zero them.
@@ -218,6 +239,26 @@ mod tests {
         let data = drain();
         assert!(data.events.is_empty());
         assert!(data.metrics.is_empty());
+    }
+
+    #[test]
+    fn obs_data_lookup_helpers_find_metrics_by_name() {
+        let _g = lock_recover(&TEST_GUARD);
+        reset();
+        enable();
+        metrics::count("helper.counter", 3);
+        metrics::count("helper.counter", 4);
+        metrics::observe("helper.hist", 10);
+        metrics::observe("helper.hist", 20);
+        disable();
+        let data = drain();
+        assert_eq!(data.counter_value("helper.counter"), 7);
+        assert_eq!(data.counter_value("helper.absent"), 0);
+        let hist = data.histogram("helper.hist").expect("registered");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 30);
+        assert!(data.histogram("helper.absent").is_none());
+        reset();
     }
 
     #[test]

@@ -53,6 +53,57 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 // ---------------------------------------------------------------------------
+// Panic capture at isolation boundaries
+// ---------------------------------------------------------------------------
+
+/// A panic caught at an isolation boundary, reduced to its message.
+///
+/// The pool itself re-raises worker panics on the submitting thread
+/// (first panic wins), which is right for regions that share one fate.
+/// Fault-*isolating* callers — a sweep engine quarantining one grid cell
+/// while its siblings continue — instead want the panic as a value they
+/// can account for. [`catch_isolated`] produces this type; the message is
+/// extracted eagerly because the payload itself is neither `Clone` nor
+/// meaningfully inspectable past the common `&str`/`String` cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPanic {
+    /// The panic message (`&str`/`String` payloads verbatim, a fixed
+    /// placeholder for anything else).
+    pub message: String,
+}
+
+impl std::fmt::Display for CapturedPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic: {}", self.message)
+    }
+}
+
+/// The message carried by a panic payload: `&str` and `String` payloads
+/// verbatim, `"non-string panic payload"` otherwise.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into a [`CapturedPanic`] instead of
+/// unwinding past the caller.
+///
+/// This is the fault-isolation primitive: a closure that dies leaves the
+/// caller (and, when run on a pool worker, the pool — whose locks all
+/// recover from poisoning) fully usable, with the failure reported as a
+/// value for retry/quarantine accounting.
+pub fn catch_isolated<R>(f: impl FnOnce() -> R) -> Result<R, CapturedPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| CapturedPanic {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Thread-count configuration
 // ---------------------------------------------------------------------------
 
@@ -982,6 +1033,43 @@ mod tests {
         // Only assert when our hook is the installed one.
         if OBSERVER.get() == Some(&(hook as fn(&RegionStats))) {
             assert!(after >= before + 500);
+        }
+    }
+
+    #[test]
+    fn catch_isolated_returns_values_and_captures_messages() {
+        assert_eq!(catch_isolated(|| 7), Ok(7));
+        let static_str = catch_isolated(|| -> u32 { panic!("boom") }).unwrap_err();
+        assert_eq!(static_str.message, "boom");
+        let formatted = catch_isolated(|| -> u32 { panic!("cell {}", 3) }).unwrap_err();
+        assert_eq!(formatted.message, "cell 3");
+        let opaque =
+            catch_isolated(|| -> u32 { std::panic::panic_any(42u64) }).unwrap_err();
+        assert_eq!(opaque.message, "non-string panic payload");
+        assert_eq!(formatted.to_string(), "panic: cell 3");
+    }
+
+    #[test]
+    fn catch_isolated_on_pool_workers_leaves_region_healthy() {
+        let _guard = override_lock();
+        set_threads(4);
+        // One item dies per chunk-mate; the region as a whole must still
+        // return every result in order because each failure is contained.
+        let out = map_items(64, |i| {
+            catch_isolated(move || {
+                if i % 7 == 0 {
+                    panic!("dies at {i}");
+                }
+                i * 2
+            })
+        });
+        set_threads(0);
+        for (i, r) in out.iter().enumerate() {
+            if i % 7 == 0 {
+                assert_eq!(r.as_ref().unwrap_err().message, format!("dies at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
         }
     }
 

@@ -30,6 +30,23 @@ cargo test -q -p tp-obs --offline --release
 cargo test -q -p tp-obs --offline --release --test golden
 cargo test -q --offline --release --test observability
 
+echo "== tier1: scenario sweep suite (release) =="
+cargo test -q -p tp-scenarios --offline --release
+cargo test -q --offline --release --test scenarios
+
+echo "== tier1: sweep kill/resume smoke (example, scratch dir) =="
+# The example runs an uninterrupted sweep, a killed one, and a resumed
+# one, and exits nonzero unless journal and report come back
+# byte-identical — the crash-safety contract, exercised end to end.
+SWEEP_SCRATCH="$(mktemp -d)"
+if ! TP_SWEEP_OUT="$SWEEP_SCRATCH/demo" \
+    cargo run -q --offline --release --example sweep_resume >/dev/null; then
+    rm -rf "$SWEEP_SCRATCH"
+    echo "tier1: FAIL — sweep kill/resume smoke broke the resume contract" >&2
+    exit 1
+fi
+rm -rf "$SWEEP_SCRATCH"
+
 echo "== tier1: clippy (warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 

@@ -14,3 +14,4 @@ pub use tp_tensor as tensor;
 pub use tp_nn as nn;
 pub use tp_obs as obs;
 pub use tp_par as par;
+pub use tp_scenarios as scenarios;
