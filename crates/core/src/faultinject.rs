@@ -43,6 +43,36 @@ pub enum CellFault {
     NonFinite,
 }
 
+/// A fault injected into one inference-service request.
+///
+/// Indexed by the server's global request counter, so a seeded plan fires
+/// on the same request on every machine — the serve-layer analogue of
+/// [`CellFault`] for `tp-serve`'s panic-isolation / deadline / corrupt-reply
+/// paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFault {
+    /// The connection is dropped without a reply (client sees EOF).
+    Drop,
+    /// The handler stalls past any reasonable deadline and then completes —
+    /// the input the per-request deadline path needs.
+    Hang {
+        /// Injected stall, milliseconds.
+        ms: u64,
+    },
+    /// The reply bytes are corrupted with this many seeded
+    /// [`tp_rng::prop::mutate_bytes`] mutations before being sent.
+    CorruptReply {
+        /// Number of byte-level mutations applied.
+        mutations: usize,
+    },
+    /// The handler is slowed by this many milliseconds but stays within
+    /// reason — the input the backpressure/queue-saturation path needs.
+    Slow {
+        /// Injected delay, milliseconds.
+        ms: u64,
+    },
+}
+
 /// A declarative schedule of training-step and sweep-cell faults.
 ///
 /// Steps are indexed by the trainer's global step counter (which survives
@@ -54,6 +84,9 @@ pub struct FaultPlan {
     nan_grad_steps: BTreeSet<u64>,
     /// cell index → (fault, number of leading attempts it fires on).
     cell_faults: BTreeMap<u64, (CellFault, u32)>,
+    /// request index → fault (requests are not retried server-side, so a
+    /// request fault fires exactly once).
+    request_faults: BTreeMap<u64, RequestFault>,
 }
 
 impl FaultPlan {
@@ -116,9 +149,37 @@ impl FaultPlan {
         }
     }
 
+    /// Adds `fault` at serve-request index `request` (0-based, counted
+    /// across all connections in arrival order). Chainable.
+    pub fn with_request_fault(mut self, request: u64, fault: RequestFault) -> FaultPlan {
+        self.request_faults.insert(request, fault);
+        self
+    }
+
+    /// Dropped connection at each listed request.
+    pub fn drop_at_request(requests: impl IntoIterator<Item = u64>) -> FaultPlan {
+        requests.into_iter().fold(FaultPlan::none(), |p, r| {
+            p.with_request_fault(r, RequestFault::Drop)
+        })
+    }
+
+    /// `ms`-millisecond stall at each listed request.
+    pub fn hang_at_request(requests: impl IntoIterator<Item = u64>, ms: u64) -> FaultPlan {
+        requests.into_iter().fold(FaultPlan::none(), |p, r| {
+            p.with_request_fault(r, RequestFault::Hang { ms })
+        })
+    }
+
+    /// The fault (if any) injected into request `request`.
+    pub fn request_fault(&self, request: u64) -> Option<RequestFault> {
+        self.request_faults.get(&request).copied()
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.nan_grad_steps.is_empty() && self.cell_faults.is_empty()
+        self.nan_grad_steps.is_empty()
+            && self.cell_faults.is_empty()
+            && self.request_faults.is_empty()
     }
 }
 
@@ -221,6 +282,29 @@ mod tests {
         let both = FaultPlan::nan_grad_at([1]).with_cell_fault(2, CellFault::Panic, 1);
         assert!(both.injects_nan_grad(1));
         assert_eq!(both.cell_fault(2, 1), Some(CellFault::Panic));
+    }
+
+    #[test]
+    fn request_faults_fire_once_at_their_index() {
+        let plan = FaultPlan::drop_at_request([1])
+            .with_request_fault(4, RequestFault::CorruptReply { mutations: 6 })
+            .with_request_fault(7, RequestFault::Slow { ms: 25 });
+        assert_eq!(plan.request_fault(1), Some(RequestFault::Drop));
+        assert_eq!(
+            plan.request_fault(4),
+            Some(RequestFault::CorruptReply { mutations: 6 })
+        );
+        assert_eq!(plan.request_fault(7), Some(RequestFault::Slow { ms: 25 }));
+        assert_eq!(plan.request_fault(0), None);
+        assert!(!plan.is_empty());
+        // Request faults compose with training and cell faults in one plan.
+        let all = FaultPlan::nan_grad_at([2])
+            .with_cell_fault(3, CellFault::Panic, 1)
+            .with_request_fault(5, RequestFault::Hang { ms: 10 });
+        assert!(all.injects_nan_grad(2));
+        assert_eq!(all.cell_fault(3, 1), Some(CellFault::Panic));
+        assert_eq!(all.request_fault(5), Some(RequestFault::Hang { ms: 10 }));
+        assert_eq!(FaultPlan::hang_at_request([0], 5).request_fault(0), Some(RequestFault::Hang { ms: 5 }));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod checkpoint;
 pub mod faultinject;
+mod incremental;
 mod loss;
 mod parbridge;
 mod lutmod;
@@ -53,7 +54,8 @@ mod prop;
 mod train;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use faultinject::{CellFault, FaultInjector, FaultPlan};
+pub use faultinject::{CellFault, FaultInjector, FaultPlan, RequestFault};
+pub use incremental::{IncrementalGnn, UpdateStats};
 pub use loss::{combined_loss, AuxMode, LossParts};
 pub use lutmod::LutModule;
 pub use model::{Ablation, ModelConfig, Prediction, TimingGnn};

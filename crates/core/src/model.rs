@@ -158,23 +158,49 @@ impl TimingGnn {
         &self.net_embed
     }
 
+    /// The propagation stage (for the incremental engine).
+    pub(crate) fn propagation(&self) -> &Propagation {
+        &self.propagation
+    }
+
     /// Full forward pass.
     pub fn forward(&self, design: &DesignGraph, plan: &PropPlan) -> Prediction {
-        let embedding = if self.config.ablation.no_net_embedding {
-            Tensor::zeros(&[design.num_pins, self.config.embed_dim])
+        self.forward_traced(design, plan).0
+    }
+
+    /// [`TimingGnn::forward`] that also captures every intermediate the
+    /// incremental engine caches (net-embedding layers, init projection,
+    /// per-level state blocks).
+    pub(crate) fn forward_traced(
+        &self,
+        design: &DesignGraph,
+        plan: &PropPlan,
+    ) -> (Prediction, crate::netconv::EmbedTrace, crate::prop::PropTrace) {
+        let (embedding, embed_trace) = if self.config.ablation.no_net_embedding {
+            (
+                Tensor::zeros(&[design.num_pins, self.config.embed_dim]),
+                crate::netconv::EmbedTrace {
+                    layer_outputs: Vec::new(),
+                    sink_updates: Vec::new(),
+                },
+            )
         } else {
-            self.net_embed.embed(design)
+            self.net_embed.embed_traced(design)
         };
         let net_delay = self.net_embed.net_delay(&embedding);
-        let out = self.propagation.forward(design, plan, &embedding);
+        let (out, prop_trace) = self.propagation.forward_traced(design, plan, &embedding);
         let arrival = out.atslew.narrow_cols(0, 4);
         let slew = out.atslew.narrow_cols(4, 4);
-        Prediction {
-            arrival,
-            slew,
-            net_delay,
-            cell_delay: out.cell_delay,
-        }
+        (
+            Prediction {
+                arrival,
+                slew,
+                net_delay,
+                cell_delay: out.cell_delay,
+            },
+            embed_trace,
+            prop_trace,
+        )
     }
 }
 

@@ -10,9 +10,9 @@ use tp_tensor::Tensor;
 /// with sum and max channels.
 #[derive(Debug, Clone)]
 pub struct NetConv {
-    broadcast: Mlp,
-    reduce_msg: Mlp,
-    combine: Mlp,
+    pub(crate) broadcast: Mlp,
+    pub(crate) reduce_msg: Mlp,
+    pub(crate) combine: Mlp,
     out_dim: usize,
 }
 
@@ -50,6 +50,14 @@ impl NetConv {
     /// `h` is `[N, in_dim]`; masks select sink rows (updated by broadcast)
     /// and driver rows (updated by reduction).
     pub fn forward(&self, design: &DesignGraph, h: &Tensor) -> Tensor {
+        self.forward_traced(design, h).0
+    }
+
+    /// [`NetConv::forward`] that also returns the pre-mask `sink_update`
+    /// matrix (the scattered broadcast messages). The incremental engine
+    /// caches it because driver reductions read `sink_update` rows
+    /// *before* the sink/driver merge.
+    pub(crate) fn forward_traced(&self, design: &DesignGraph, h: &Tensor) -> (Tensor, Tensor) {
         let n = design.num_pins;
         let src_h = h.gather_rows(&design.net_src);
         let dst_h = h.gather_rows(&design.net_dst);
@@ -76,7 +84,9 @@ impl NetConv {
         // Each pin is either a net sink or a net driver; merge the two
         // disjoint updates.
         let driver_mask: Vec<f32> = design.sink_mask.iter().map(|&m| 1.0 - m).collect();
-        mask_rows(&sink_update, &design.sink_mask).add(&mask_rows(&driver_update, &driver_mask))
+        let out = mask_rows(&sink_update, &design.sink_mask)
+            .add(&mask_rows(&driver_update, &driver_mask));
+        (out, sink_update)
     }
 }
 
@@ -97,9 +107,20 @@ impl Module for NetConv {
 /// statistics, as the paper describes).
 #[derive(Debug, Clone)]
 pub struct NetEmbed {
-    layers: Vec<NetConv>,
-    net_delay_head: Mlp,
+    pub(crate) layers: Vec<NetConv>,
+    pub(crate) net_delay_head: Mlp,
     embed_dim: usize,
+}
+
+/// Per-layer intermediates of one [`NetEmbed::embed`] pass, captured for
+/// the incremental engine: the output `h` of every layer plus its pre-mask
+/// `sink_update` matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct EmbedTrace {
+    /// Layer outputs `h₁..h₃`, each `[N, embed_dim]`.
+    pub layer_outputs: Vec<Tensor>,
+    /// Pre-mask scattered broadcast messages per layer, `[N, embed_dim]`.
+    pub sink_updates: Vec<Tensor>,
 }
 
 impl NetEmbed {
@@ -127,13 +148,25 @@ impl NetEmbed {
 
     /// Computes pin embeddings `[N, embed_dim]`.
     pub fn embed(&self, design: &DesignGraph) -> Tensor {
+        self.embed_traced(design).0
+    }
+
+    /// [`NetEmbed::embed`] that also captures every layer's intermediates.
+    pub(crate) fn embed_traced(&self, design: &DesignGraph) -> (Tensor, EmbedTrace) {
         let _embed_span = tp_obs::span!("net_embed", layers = self.layers.len());
         let mut h = design.pin_features.clone();
+        let mut trace = EmbedTrace {
+            layer_outputs: Vec::with_capacity(self.layers.len()),
+            sink_updates: Vec::with_capacity(self.layers.len()),
+        };
         for (l, layer) in self.layers.iter().enumerate() {
             let _layer_span = tp_obs::span!("net_conv", layer = l);
-            h = layer.forward(design, &h);
+            let (out, sink_update) = layer.forward_traced(design, &h);
+            h = out;
+            trace.layer_outputs.push(h.clone());
+            trace.sink_updates.push(sink_update);
         }
-        h
+        (h, trace)
     }
 
     /// Predicts per-pin net delay to root `[N, 4]` from embeddings

@@ -33,16 +33,26 @@ pub struct PropOutput {
 /// along topological levels, one asynchronous update per pin.
 #[derive(Debug, Clone)]
 pub struct Propagation {
-    init: Mlp,
-    net_prop: Mlp,
-    lut: LutModule,
-    cell_msg: Mlp,
-    cell_combine: Mlp,
-    post: Mlp,
-    atslew_head: Mlp,
-    celld_head: Mlp,
+    pub(crate) init: Mlp,
+    pub(crate) net_prop: Mlp,
+    pub(crate) lut: LutModule,
+    pub(crate) cell_msg: Mlp,
+    pub(crate) cell_combine: Mlp,
+    pub(crate) post: Mlp,
+    pub(crate) atslew_head: Mlp,
+    pub(crate) celld_head: Mlp,
     prop_dim: usize,
-    ablation: Ablation,
+    pub(crate) ablation: Ablation,
+}
+
+/// Intermediates of one [`Propagation::forward`] pass, captured for the
+/// incremental engine: the init projection and every level's state block.
+#[derive(Debug, Clone)]
+pub(crate) struct PropTrace {
+    /// `init` MLP output `[N, prop_dim]` in pin order.
+    pub x0: Tensor,
+    /// Per-level state blocks, `[levelₗ.pins.len(), prop_dim]` each.
+    pub blocks: Vec<Tensor>,
 }
 
 impl Propagation {
@@ -107,6 +117,17 @@ impl Propagation {
     ///
     /// Panics if `plan` does not match `design`.
     pub fn forward(&self, design: &DesignGraph, plan: &PropPlan, embedding: &Tensor) -> PropOutput {
+        self.forward_traced(design, plan, embedding).0
+    }
+
+    /// [`Propagation::forward`] that also captures the per-level state
+    /// blocks and init projection for the incremental engine.
+    pub(crate) fn forward_traced(
+        &self,
+        design: &DesignGraph,
+        plan: &PropPlan,
+        embedding: &Tensor,
+    ) -> (PropOutput, PropTrace) {
         let _prop_span = tp_obs::span!("levelized_prop", levels = plan.num_levels());
         let x0 = self
             .init
@@ -199,11 +220,14 @@ impl Propagation {
             self.celld_head.forward(&Tensor::concat_rows(&refs))
         };
 
-        PropOutput {
-            states,
-            atslew,
-            cell_delay,
-        }
+        (
+            PropOutput {
+                states,
+                atslew,
+                cell_delay,
+            },
+            PropTrace { x0, blocks },
+        )
     }
 }
 

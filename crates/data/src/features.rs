@@ -408,6 +408,108 @@ impl DesignGraph {
     }
 }
 
+/// One ECO-style pin move: place `pin` at the absolute location `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinMove {
+    /// Arena index of the pin to move.
+    pub pin: usize,
+    /// New absolute x coordinate, µm.
+    pub x: f32,
+    /// New absolute y coordinate, µm.
+    pub y: f32,
+}
+
+/// The feature rows touched by [`DesignGraph::apply_moves`] — the exact
+/// dirty frontier an incremental re-prediction must start from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EcoDirty {
+    /// Moved pins (deduplicated, ascending).
+    pub pins: Vec<usize>,
+    /// Net edges whose driver or sink moved (ascending edge ids).
+    pub net_edges: Vec<usize>,
+}
+
+impl EcoDirty {
+    /// Whether the edit touched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty() && self.net_edges.is_empty()
+    }
+}
+
+impl DesignGraph {
+    /// Applies ECO pin moves in place: updates `placement` and refreshes
+    /// exactly the feature rows that depend on pin position — the
+    /// boundary-distance block of each moved pin's feature row (Table 2)
+    /// and the |Δx|/|Δy| columns of every net edge incident to a moved pin
+    /// (Table 3). Cell-edge features, capacitances and I/O flags are
+    /// position-independent and untouched; labels (arrival/slew/slack)
+    /// keep describing the pre-move flow and are the quantities a model
+    /// re-predicts after the edit.
+    ///
+    /// Validation is staged: every move is checked before anything is
+    /// written, so a rejected batch leaves design and placement untouched.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::UnknownPin`] — a move names a pin index out of
+    ///   range;
+    /// - [`GraphError::NonFiniteCoordinate`] — a move carries a NaN or
+    ///   infinite coordinate.
+    pub fn apply_moves(
+        &mut self,
+        placement: &mut Placement,
+        moves: &[PinMove],
+    ) -> Result<EcoDirty, GraphError> {
+        for m in moves {
+            if m.pin >= self.num_pins {
+                return Err(GraphError::UnknownPin(PinId::new(m.pin)));
+            }
+            if !m.x.is_finite() || !m.y.is_finite() {
+                return Err(GraphError::NonFiniteCoordinate(PinId::new(m.pin)));
+            }
+        }
+
+        let mut pins: Vec<usize> = moves.iter().map(|m| m.pin).collect();
+        pins.sort_unstable();
+        pins.dedup();
+
+        // Later moves of the same pin win, matching sequential application.
+        for m in moves {
+            placement.set_location_unchecked(PinId::new(m.pin), tp_place::Point::new(m.x, m.y));
+        }
+
+        let die = *placement.die();
+        {
+            let mut pf = self.pin_features.data_mut();
+            for &p in &pins {
+                let loc = placement.location(PinId::new(p));
+                let bd = die.boundary_distances(loc);
+                let row = &mut pf[p * PIN_FEATURES..(p + 1) * PIN_FEATURES];
+                for k in 0..4 {
+                    row[2 + k] = bd[k] * POS_SCALE;
+                }
+            }
+        }
+
+        let moved: std::collections::BTreeSet<usize> = pins.iter().copied().collect();
+        let mut net_edges = Vec::new();
+        {
+            let mut nef = self.net_edge_features.data_mut();
+            for (k, (&s, &d)) in self.net_src.iter().zip(&self.net_dst).enumerate() {
+                if moved.contains(&s) || moved.contains(&d) {
+                    let a = placement.location(PinId::new(s));
+                    let b = placement.location(PinId::new(d));
+                    nef[k * NET_EDGE_FEATURES] = (a.x - b.x).abs() * POS_SCALE;
+                    nef[k * NET_EDGE_FEATURES + 1] = (a.y - b.y).abs() * POS_SCALE;
+                    net_edges.push(k);
+                }
+            }
+        }
+
+        Ok(EcoDirty { pins, net_edges })
+    }
+}
+
 /// Pin capacitance feature: input caps for cell inputs, port cap estimate
 /// for primary outputs, zero for drivers.
 fn pin_caps(circuit: &Circuit, library: &Library, pin: tp_graph::PinId) -> [f32; 4] {
@@ -554,6 +656,118 @@ mod tests {
         // some LUT value should be nonzero
         let val_base = 8 + 8 * 14;
         assert!(row[val_base..val_base + 49].iter().any(|&v| v > 0.0));
+    }
+
+    fn lowered_with_parts() -> (DesignGraph, tp_graph::Circuit, Placement, Library) {
+        let lib = Library::synthetic_sky130(0);
+        let nand = lib.type_id("NAND2_X1").unwrap();
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_primary_input("a");
+        let c2 = b.add_primary_input("b");
+        let (_, ins, out) = b.add_cell("u0", nand, 2);
+        let z = b.add_primary_output("z");
+        b.connect(a, &[ins[0]]).unwrap();
+        b.connect(c2, &[ins[1]]).unwrap();
+        b.connect(out, &[z]).unwrap();
+        let circuit = b.finish().unwrap();
+        let placement = place_circuit(&circuit, &PlacementConfig::default(), 3);
+        let sta = StaConfig::default();
+        let flow = run_full_flow(&circuit, &placement, &lib, &sta);
+        let g = DesignGraph::from_flow("t", true, &circuit, &placement, &lib, &flow, &sta);
+        (g, circuit, placement, lib)
+    }
+
+    #[test]
+    fn apply_moves_matches_a_fresh_lowering() {
+        // Moving pins and refreshing in place must reproduce, bit for bit,
+        // the position-dependent features a from-scratch lowering of the
+        // moved placement would compute.
+        let (mut g, circuit, mut placement, lib) = lowered_with_parts();
+        let sta = StaConfig::default();
+        let flow = run_full_flow(&circuit, &placement, &lib, &sta);
+
+        let moves = vec![
+            PinMove { pin: 0, x: 1.25, y: 2.5 },
+            PinMove { pin: 2, x: 0.75, y: 0.25 },
+        ];
+        let dirty = g.apply_moves(&mut placement, &moves).expect("valid moves");
+        assert_eq!(dirty.pins, vec![0, 2]);
+        assert!(!dirty.net_edges.is_empty());
+
+        // Reference: lower the *moved* placement against the stale flow
+        // (labels differ, but position-derived features must agree).
+        let fresh =
+            DesignGraph::try_from_flow("t", true, &circuit, &placement, &lib, &flow, &sta)
+                .expect("moved placement still lowers");
+        assert_eq!(g.pin_features.to_vec(), fresh.pin_features.to_vec());
+        assert_eq!(g.net_edge_features.to_vec(), fresh.net_edge_features.to_vec());
+        // Position-independent features and labels are untouched.
+        assert_eq!(g.cell_edge_features.to_vec(), fresh.cell_edge_features.to_vec());
+    }
+
+    #[test]
+    fn apply_moves_rejects_bad_input_without_mutating() {
+        let (mut g, _circuit, mut placement, _lib) = lowered_with_parts();
+        let before_pf = g.pin_features.to_vec();
+        let before_loc = placement.locations().to_vec();
+
+        let err = g
+            .apply_moves(&mut placement, &[PinMove { pin: 9999, x: 1.0, y: 1.0 }])
+            .unwrap_err();
+        assert!(matches!(err, tp_graph::GraphError::UnknownPin(_)));
+
+        let err = g
+            .apply_moves(
+                &mut placement,
+                &[
+                    PinMove { pin: 0, x: 1.0, y: 1.0 },
+                    PinMove { pin: 1, x: f32::NAN, y: 1.0 },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, tp_graph::GraphError::NonFiniteCoordinate(_)));
+
+        // Staged validation: the rejected batches changed nothing, not even
+        // the valid first move of the second batch.
+        assert_eq!(g.pin_features.to_vec(), before_pf);
+        assert_eq!(placement.locations(), &before_loc[..]);
+    }
+
+    #[test]
+    fn apply_moves_dedups_and_last_move_wins() {
+        let (mut g, _circuit, mut placement, _lib) = lowered_with_parts();
+        let dirty = g
+            .apply_moves(
+                &mut placement,
+                &[
+                    PinMove { pin: 1, x: 0.5, y: 0.5 },
+                    PinMove { pin: 1, x: 2.0, y: 3.0 },
+                ],
+            )
+            .expect("valid");
+        assert_eq!(dirty.pins, vec![1]);
+        let loc = placement.location(tp_graph::PinId::new(1));
+        assert_eq!((loc.x, loc.y), (2.0, 3.0));
+        let pf = g.pin_features.to_vec();
+        let die = *placement.die();
+        let bd = die.boundary_distances(loc);
+        for k in 0..4 {
+            assert_eq!(pf[PIN_FEATURES + 2 + k], bd[k] * (1.0 / 100.0));
+        }
+    }
+
+    #[test]
+    fn noop_moves_touch_rows_but_change_no_bits() {
+        let (mut g, _circuit, mut placement, _lib) = lowered_with_parts();
+        let before_pf = g.pin_features.to_vec();
+        let before_nef = g.net_edge_features.to_vec();
+        let loc = placement.location(tp_graph::PinId::new(0));
+        let dirty = g
+            .apply_moves(&mut placement, &[PinMove { pin: 0, x: loc.x, y: loc.y }])
+            .expect("valid");
+        assert_eq!(dirty.pins, vec![0]);
+        assert_eq!(g.pin_features.to_vec(), before_pf);
+        assert_eq!(g.net_edge_features.to_vec(), before_nef);
     }
 
     #[test]

@@ -28,5 +28,8 @@ mod features;
 mod metrics;
 
 pub use dataset::{Dataset, DatasetConfig};
-pub use features::{DesignGraph, FlowTiming, CELL_EDGE_FEATURES, MAX_LEVELS, NET_DELAY_SCALE, NET_EDGE_FEATURES, PIN_FEATURES};
+pub use features::{
+    DesignGraph, EcoDirty, FlowTiming, PinMove, CELL_EDGE_FEATURES, MAX_LEVELS, NET_DELAY_SCALE,
+    NET_EDGE_FEATURES, PIN_FEATURES,
+};
 pub use metrics::{r2_score, R2Accumulator};

@@ -1,0 +1,273 @@
+//! The JSONL wire protocol: one request object per line in, one reply
+//! object per line out (DESIGN.md §10).
+//!
+//! Replies are rendered with `tp-obs`'s deterministic JSON emitters
+//! (`escape`, `fmt_f64`); every `f32` is widened to `f64`, which
+//! round-trips exactly — so the same session state always serializes to
+//! the same reply **bytes**, and a client retrying after `overloaded` or
+//! `deadline` can assert byte-identity.
+
+use tp_data::PinMove;
+use tp_obs::json::{escape, fmt_f64};
+
+use crate::json::{self, JsonValue};
+
+/// Structured error kinds a reply can carry (the `error` field).
+pub mod error_kind {
+    /// Unparseable or semantically invalid request.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Admission control rejected the request (queue at capacity).
+    pub const OVERLOADED: &str = "overloaded";
+    /// The handler exceeded its deadline; the result was discarded.
+    pub const DEADLINE: &str = "deadline";
+    /// The handler panicked; the session was quarantined for rebuild.
+    pub const PANIC: &str = "panic";
+    /// The server is draining and accepts no new work.
+    pub const DRAINING: &str = "draining";
+    /// A hot-swap checkpoint failed validation; the old snapshot stays.
+    pub const SNAPSHOT_REJECTED: &str = "snapshot_rejected";
+    /// The named design has no registered session.
+    pub const UNKNOWN_DESIGN: &str = "unknown_design";
+}
+
+/// One decoded request operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List registered design sessions.
+    ListDesigns,
+    /// Predict for a design; replies with a digest (pin count, prediction
+    /// hash, worst slacks) rather than full tensors.
+    Predict {
+        /// Registered design name.
+        design: String,
+    },
+    /// Per-endpoint setup/hold slack arrays for a design.
+    Slack {
+        /// Registered design name.
+        design: String,
+    },
+    /// Apply ECO pin moves and incrementally re-predict. Coordinates are
+    /// absolute, so retrying after a timeout is idempotent.
+    MovePins {
+        /// Registered design name.
+        design: String,
+        /// The moves (absolute coordinates).
+        moves: Vec<PinMove>,
+    },
+    /// Hot-swap the model snapshot from a checkpoint file (`path`) or the
+    /// newest valid checkpoint in the configured snapshot dir.
+    Reload {
+        /// Explicit checkpoint path; `None` = newest valid in dir.
+        path: Option<String>,
+    },
+    /// Server counters and snapshot info.
+    Stats,
+    /// Begin draining: current requests finish, new ones are refused.
+    Shutdown,
+    /// Test-only: panic inside the handler (exercises panic isolation).
+    DebugPanic {
+        /// Session to hold locked while panicking, if any.
+        design: Option<String>,
+    },
+}
+
+/// A request plus its optional client-chosen correlation id (echoed in
+/// the reply).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Echoed verbatim as `"id"` when present.
+    pub id: Option<u64>,
+    /// The operation.
+    pub request: Request,
+}
+
+fn required_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Parses one request line. Any failure is a `bad_request` candidate —
+/// the caller turns the message into a structured error reply.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let v = json::parse(line)?;
+    let id = v.get("id").and_then(JsonValue::as_u64);
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"op\"")?;
+    let request = match op {
+        "ping" => Request::Ping,
+        "list_designs" => Request::ListDesigns,
+        "predict" => Request::Predict {
+            design: required_str(&v, "design")?,
+        },
+        "slack" => Request::Slack {
+            design: required_str(&v, "design")?,
+        },
+        "move_pins" => {
+            let design = required_str(&v, "design")?;
+            let items = v
+                .get("moves")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing array field \"moves\"")?;
+            let mut moves = Vec::with_capacity(items.len());
+            for (i, m) in items.iter().enumerate() {
+                let pin = m
+                    .get("pin")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("moves[{i}]: missing integer \"pin\""))?;
+                let x = m
+                    .get("x")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("moves[{i}]: missing number \"x\""))?;
+                let y = m
+                    .get("y")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("moves[{i}]: missing number \"y\""))?;
+                moves.push(PinMove {
+                    pin: pin as usize,
+                    x: x as f32,
+                    y: y as f32,
+                });
+            }
+            Request::MovePins { design, moves }
+        }
+        "reload" => Request::Reload {
+            path: v.get("path").and_then(JsonValue::as_str).map(str::to_string),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "debug_panic" => Request::DebugPanic {
+            design: v
+                .get("design")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        },
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Envelope { id, request })
+}
+
+fn id_field(id: Option<u64>) -> String {
+    match id {
+        Some(id) => format!("\"id\":{id},"),
+        None => String::new(),
+    }
+}
+
+/// Builds a success reply: `{"id":…,"ok":true,<body>}`. `body` must be
+/// zero or more pre-rendered `"key":value` pairs joined with commas.
+pub fn ok_reply(id: Option<u64>, body: &str) -> String {
+    if body.is_empty() {
+        format!("{{{}\"ok\":true}}", id_field(id))
+    } else {
+        format!("{{{}\"ok\":true,{body}}}", id_field(id))
+    }
+}
+
+/// Builds a structured error reply:
+/// `{"id":…,"ok":false,"error":kind,"detail":…}`.
+pub fn error_reply(id: Option<u64>, kind: &str, detail: &str) -> String {
+    // `escape` renders a complete JSON string, quotes included.
+    format!(
+        "{{{}\"ok\":false,\"error\":{},\"detail\":{}}}",
+        id_field(id),
+        escape(kind),
+        escape(detail)
+    )
+}
+
+/// Renders a float array as a deterministic JSON array (each `f32`
+/// widened exactly to `f64`).
+pub fn f32_array(values: &[f32]) -> String {
+    let mut out = String::with_capacity(values.len() * 8 + 2);
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_f64(f64::from(v)));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let e = parse_request(r#"{"op":"ping","id":3}"#).expect("valid");
+        assert_eq!(e.id, Some(3));
+        assert_eq!(e.request, Request::Ping);
+        let e = parse_request(r#"{"op":"predict","design":"usb"}"#).expect("valid");
+        assert_eq!(e.request, Request::Predict { design: "usb".into() });
+        let e = parse_request(
+            r#"{"op":"move_pins","design":"usb","moves":[{"pin":5,"x":1.0,"y":2.0}]}"#,
+        )
+        .expect("valid");
+        match e.request {
+            Request::MovePins { design, moves } => {
+                assert_eq!(design, "usb");
+                assert_eq!(moves, vec![PinMove { pin: 5, x: 1.0, y: 2.0 }]);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        let e = parse_request(r#"{"op":"reload"}"#).expect("valid");
+        assert_eq!(e.request, Request::Reload { path: None });
+        for (line, want) in [
+            (r#"{"op":"list_designs"}"#, Request::ListDesigns),
+            (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"shutdown"}"#, Request::Shutdown),
+            (r#"{"op":"slack","design":"d"}"#, Request::Slack { design: "d".into() }),
+            (r#"{"op":"debug_panic"}"#, Request::DebugPanic { design: None }),
+        ] {
+            assert_eq!(parse_request(line).expect("valid").request, want);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_messages() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"predict"}"#,
+            r#"{"op":"move_pins","design":"d","moves":[{"pin":-1,"x":0,"y":0}]}"#,
+            r#"{"op":"move_pins","design":"d","moves":[{"x":0,"y":0}]}"#,
+            r#"{"op":"move_pins","design":"d"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn replies_are_valid_json() {
+        for reply in [
+            ok_reply(Some(9), "\"pong\":true"),
+            ok_reply(None, ""),
+            error_reply(Some(1), error_kind::DEADLINE, "elapsed 120ms > 100ms"),
+            error_reply(None, error_kind::BAD_REQUEST, "weird \"quotes\"\n"),
+            ok_reply(None, &format!("\"setup\":{}", f32_array(&[1.5, -0.25, f32::MIN_POSITIVE]))),
+        ] {
+            tp_obs::json::validate(&reply).expect("reply must be valid JSON");
+        }
+    }
+
+    #[test]
+    fn f32_arrays_roundtrip_exactly() {
+        let vals = [1.0f32, -0.333_333_34, 1e-30, 6.022_141e23];
+        let rendered = f32_array(&vals);
+        let parsed = crate::json::parse(&rendered).expect("valid");
+        let arr = parsed.as_array().expect("array");
+        for (v, p) in vals.iter().zip(arr) {
+            assert_eq!(f64::from(*v), p.as_f64().expect("num"), "exact f32→f64 roundtrip");
+        }
+    }
+}

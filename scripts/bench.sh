@@ -49,7 +49,7 @@ run_suite() {
 # silently resolve to hardware_threads() — 1 on a single-core CI box.
 export TP_THREADS="${TP_THREADS:-4}"
 export TP_BENCH_OUT="$OUT_DIR"
-SUITES=(train sta engines models tensor_ops scenarios)
+SUITES=(train sta engines models tensor_ops scenarios serve)
 for suite in "${SUITES[@]}"; do
     echo "== bench: $suite (TP_THREADS=$TP_THREADS) =="
     run_suite "$suite"

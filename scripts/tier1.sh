@@ -34,6 +34,24 @@ echo "== tier1: scenario sweep suite (release) =="
 cargo test -q -p tp-scenarios --offline --release
 cargo test -q --offline --release --test scenarios
 
+echo "== tier1: serving suite (release) =="
+cargo test -q -p tp-serve --offline --release
+cargo test -q -p tp-serve --offline --release --test fuzz_codec
+cargo test -q -p tp-serve --offline --release --test robustness
+cargo test -q --offline --release --test serve
+
+echo "== tier1: serve loopback smoke (example, scratch dir) =="
+# Boot a real server on an ephemeral port and drive the full lifecycle —
+# ping, predict, slack, checkpoint hot-swap, ECO move, stats, drain. The
+# example exits nonzero on any protocol violation.
+SERVE_SCRATCH="$(mktemp -d)"
+if ! cargo run -q --offline --release --example serve_demo "$SERVE_SCRATCH/demo" >/dev/null; then
+    rm -rf "$SERVE_SCRATCH"
+    echo "tier1: FAIL — serve loopback smoke broke the serving contract" >&2
+    exit 1
+fi
+rm -rf "$SERVE_SCRATCH"
+
 echo "== tier1: sweep kill/resume smoke (example, scratch dir) =="
 # The example runs an uninterrupted sweep, a killed one, and a resumed
 # one, and exits nonzero unless journal and report come back

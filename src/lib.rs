@@ -15,3 +15,4 @@ pub use tp_nn as nn;
 pub use tp_obs as obs;
 pub use tp_par as par;
 pub use tp_scenarios as scenarios;
+pub use tp_serve as serve;
