@@ -160,8 +160,23 @@ impl Suite {
     /// names are escaped, numbers written with full precision).
     ///
     /// Delegates to [`tp_obs::export::bench_json`], the single source of
-    /// truth for the `BENCH_*.json` schema.
+    /// truth for the `BENCH_*.json` schema. The config echo records the
+    /// knobs every number depends on: `TP_SCALE`, `TP_PARTITION_NODES`
+    /// (effective value, env or override) and the gemm tile sizes.
     pub fn to_json(&self) -> String {
+        let (tile_k, tile_j) = tp_tensor::gemm_tiles();
+        let config = vec![
+            (
+                "tp_scale".to_string(),
+                std::env::var("TP_SCALE").unwrap_or_else(|_| "default".to_string()),
+            ),
+            (
+                "tp_partition_nodes".to_string(),
+                tp_partition::partition_nodes().to_string(),
+            ),
+            ("tp_gemm_tile_k".to_string(), tile_k.to_string()),
+            ("tp_gemm_tile_j".to_string(), tile_j.to_string()),
+        ];
         let entries: Vec<tp_obs::export::BenchEntry> = self
             .results
             .iter()
@@ -175,7 +190,7 @@ impl Suite {
                 samples: r.samples,
             })
             .collect();
-        tp_obs::export::bench_json(&self.name, tp_par::threads(), &entries)
+        tp_obs::export::bench_json(&self.name, tp_par::threads(), &config, &entries)
     }
 
     /// Prints the summary table and writes `BENCH_<suite>.json` into
@@ -261,6 +276,7 @@ mod tests {
         });
         let j = suite.to_json();
         assert!(j.contains("\"suite\": \"json\\\"test\""));
+        assert!(j.contains("\"tp_partition_nodes\":"));
         assert!(j.contains("\"name\": \"a\\\\b\""));
         assert!(j.contains("\"median_ns\": 1.5"));
     }

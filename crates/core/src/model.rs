@@ -164,7 +164,27 @@ impl TimingGnn {
     }
 
     /// Full forward pass.
+    ///
+    /// Inside [`tp_tensor::no_grad`] with a positive
+    /// [`tp_partition::partition_nodes`] budget, the propagation stage
+    /// streams chunk-by-chunk with bounded live memory; the outputs are
+    /// bit-identical to the monolithic pass.
     pub fn forward(&self, design: &DesignGraph, plan: &PropPlan) -> Prediction {
+        if tp_partition::partition_nodes() > 0 && !tp_tensor::grad_enabled() {
+            let embedding = if self.config.ablation.no_net_embedding {
+                Tensor::zeros(&[design.num_pins, self.config.embed_dim])
+            } else {
+                self.net_embed.embed(design)
+            };
+            let net_delay = self.net_embed.net_delay(&embedding);
+            let out = self.propagation.forward(design, plan, &embedding);
+            return Prediction {
+                arrival: out.atslew.narrow_cols(0, 4),
+                slew: out.atslew.narrow_cols(4, 4),
+                net_delay,
+                cell_delay: out.cell_delay,
+            };
+        }
         self.forward_traced(design, plan).0
     }
 

@@ -113,15 +113,125 @@ impl Propagation {
     /// `embedding` is the net-embedding output `[N, embed_dim]`; `plan`
     /// must have been built from `design`.
     ///
+    /// With a positive [`tp_partition::partition_nodes`] budget and the
+    /// autograd tape off (inference inside [`tp_tensor::no_grad`]), this
+    /// takes the streamed path: level blocks are released as soon as their
+    /// last reader chunk finishes, bounding live memory to the partition's
+    /// frontier. Results are bit-identical to the monolithic pass.
+    ///
     /// # Panics
     ///
     /// Panics if `plan` does not match `design`.
     pub fn forward(&self, design: &DesignGraph, plan: &PropPlan, embedding: &Tensor) -> PropOutput {
+        if tp_partition::partition_nodes() > 0 && !tp_tensor::grad_enabled() {
+            return self.forward_streamed(design, plan, embedding);
+        }
         self.forward_traced(design, plan, embedding).0
+    }
+
+    /// One level's state block, shared verbatim between the monolithic,
+    /// partitioned-training and streamed paths — partitioning must never
+    /// change arithmetic, only residency, so all three run exactly this op
+    /// sequence. Returns the block and, when the level has cell arcs, the
+    /// concatenated cell messages (input of the cell-delay head).
+    ///
+    /// `blocks[sl]` must be `Some` for every source level `sl` this level
+    /// reads — the partition plan's `last_use` guarantees it on the
+    /// streamed path.
+    fn compute_level(
+        &self,
+        design: &DesignGraph,
+        lp: &crate::plan::LevelPlan,
+        l: usize,
+        x0: &Tensor,
+        blocks: &[Option<Tensor>],
+    ) -> (Tensor, Option<Tensor>) {
+        let _level_span = tp_obs::span!("prop_level", level = l, pins = lp.pins.len());
+        tp_obs::metrics::count("gnn.pins_propagated", lp.pins.len() as u64);
+        if l == 0 {
+            return (x0.gather_rows(&lp.pins), None);
+        }
+        let k = lp.pins.len();
+        let block = |sl: usize| -> &Tensor {
+            blocks[sl]
+                .as_ref()
+                .expect("source level released before its last reader")
+        };
+
+        // --- net propagation: driver state + wire geometry -> sink ---
+        let net_block = if lp.net_groups.is_empty() {
+            Tensor::zeros(&[k, self.prop_dim])
+        } else {
+            let mut msgs: Vec<Tensor> = Vec::with_capacity(lp.net_groups.len());
+            let mut dests: Vec<usize> = Vec::new();
+            for g in &lp.net_groups {
+                let src = block(g.src_level).gather_rows(&g.src_rows);
+                let ef = design.net_edge_features.gather_rows(&g.edge_ids);
+                msgs.push(self.net_prop.forward(&Tensor::concat_cols(&[&src, &ef])));
+                dests.extend_from_slice(&g.dest_local);
+            }
+            let refs: Vec<&Tensor> = msgs.iter().collect();
+            Tensor::concat_rows(&refs).segment_sum(&dests, k)
+        };
+
+        // --- cell propagation: LUT interpolation + sum/max channels ---
+        let (cell_block, cell_msgs) = if lp.cell_groups.is_empty() {
+            (Tensor::zeros(&[k, self.prop_dim]), None)
+        } else {
+            let mut msgs: Vec<Tensor> = Vec::with_capacity(lp.cell_groups.len());
+            let mut dests: Vec<usize> = Vec::new();
+            for g in &lp.cell_groups {
+                let src = block(g.src_level).gather_rows(&g.src_rows);
+                let ef = design.cell_edge_features.gather_rows(&g.edge_ids);
+                let lut_out = if self.ablation.no_lut_module {
+                    // ablation: the model sees only the valid flags,
+                    // losing access to the NLDM tables
+                    ef.narrow_cols(0, LutModule::OUT_DIM)
+                } else {
+                    self.lut.forward(&src, &ef)
+                };
+                msgs.push(
+                    self.cell_msg
+                        .forward(&Tensor::concat_cols(&[&src, &lut_out])),
+                );
+                dests.extend_from_slice(&g.dest_local);
+            }
+            let refs: Vec<&Tensor> = msgs.iter().collect();
+            let m = Tensor::concat_rows(&refs);
+            let sum_ch = m.segment_sum(&dests, k);
+            let max_ch = if self.ablation.no_max_channel {
+                sum_ch.clone()
+            } else {
+                m.segment_max(&dests, k)
+            };
+            // Combine only at rows that actually receive cell arcs, so
+            // MLP biases do not leak onto net-fed pins.
+            let cf = &lp.cell_fed_local;
+            let comb = self.cell_combine.forward(&Tensor::concat_cols(&[
+                &sum_ch.gather_rows(cf),
+                &max_ch.gather_rows(cf),
+            ]));
+            (comb.scatter_rows(cf, k), Some(m))
+        };
+
+        let update = net_block.add(&cell_block);
+        let init_rows = x0.gather_rows(&lp.pins);
+        (
+            self.post
+                .forward(&Tensor::concat_cols(&[&init_rows, &update])),
+            cell_msgs,
+        )
     }
 
     /// [`Propagation::forward`] that also captures the per-level state
     /// blocks and init projection for the incremental engine.
+    ///
+    /// Keeps every block resident (the autograd graph needs them anyway).
+    /// Under a positive partition budget the walk is grouped into chunk
+    /// spans, level tensors draw from the buffer pool, and the final
+    /// assembly uses the fused [`Tensor::assemble_rows`] instead of
+    /// materializing the `[N, prop_dim]` concatenation — all bit-identical
+    /// to the monolithic path.
     pub(crate) fn forward_traced(
         &self,
         design: &DesignGraph,
@@ -129,89 +239,52 @@ impl Propagation {
         embedding: &Tensor,
     ) -> (PropOutput, PropTrace) {
         let _prop_span = tp_obs::span!("levelized_prop", levels = plan.num_levels());
+        let budget = tp_partition::partition_nodes();
+        let _pool = (budget > 0).then(tp_tensor::pool::scope);
         let x0 = self
             .init
             .forward(&Tensor::concat_cols(&[&design.pin_features, embedding]));
 
-        let mut blocks: Vec<Tensor> = Vec::with_capacity(plan.num_levels());
+        let mut blocks: Vec<Option<Tensor>> = Vec::with_capacity(plan.num_levels());
         let mut edge_msgs: Vec<Tensor> = Vec::new();
-
-        for (l, lp) in plan.levels.iter().enumerate() {
-            let _level_span = tp_obs::span!("prop_level", level = l, pins = lp.pins.len());
-            tp_obs::metrics::count("gnn.pins_propagated", lp.pins.len() as u64);
-            if l == 0 {
-                blocks.push(x0.gather_rows(&lp.pins));
-                continue;
+        let step = |l: usize, blocks: &mut Vec<Option<Tensor>>, msgs: &mut Vec<Tensor>| {
+            let (b, m) = self.compute_level(design, &plan.levels[l], l, &x0, blocks);
+            if let Some(m) = m {
+                msgs.push(m);
             }
-            let k = lp.pins.len();
-
-            // --- net propagation: driver state + wire geometry -> sink ---
-            let net_block = if lp.net_groups.is_empty() {
-                Tensor::zeros(&[k, self.prop_dim])
-            } else {
-                let mut msgs: Vec<Tensor> = Vec::with_capacity(lp.net_groups.len());
-                let mut dests: Vec<usize> = Vec::new();
-                for g in &lp.net_groups {
-                    let src = blocks[g.src_level].gather_rows(&g.src_rows);
-                    let ef = design.net_edge_features.gather_rows(&g.edge_ids);
-                    msgs.push(self.net_prop.forward(&Tensor::concat_cols(&[&src, &ef])));
-                    dests.extend_from_slice(&g.dest_local);
+            blocks.push(Some(b));
+        };
+        if budget == 0 {
+            for l in 0..plan.num_levels() {
+                step(l, &mut blocks, &mut edge_msgs);
+            }
+        } else {
+            let pplan =
+                tp_partition::PartitionPlan::by_max_nodes(&plan.level_graph(), budget);
+            pplan.publish("gnn.partition");
+            for (ci, chunk) in pplan.chunks().iter().enumerate() {
+                let _chunk_span = tp_obs::span!(
+                    "prop_chunk",
+                    chunk = ci,
+                    levels = chunk.levels.len(),
+                    nodes = chunk.nodes,
+                );
+                for l in chunk.levels.clone() {
+                    step(l, &mut blocks, &mut edge_msgs);
                 }
-                let refs: Vec<&Tensor> = msgs.iter().collect();
-                Tensor::concat_rows(&refs).segment_sum(&dests, k)
-            };
-
-            // --- cell propagation: LUT interpolation + sum/max channels ---
-            let cell_block = if lp.cell_groups.is_empty() {
-                Tensor::zeros(&[k, self.prop_dim])
-            } else {
-                let mut msgs: Vec<Tensor> = Vec::with_capacity(lp.cell_groups.len());
-                let mut dests: Vec<usize> = Vec::new();
-                for g in &lp.cell_groups {
-                    let src = blocks[g.src_level].gather_rows(&g.src_rows);
-                    let ef = design.cell_edge_features.gather_rows(&g.edge_ids);
-                    let lut_out = if self.ablation.no_lut_module {
-                        // ablation: the model sees only the valid flags,
-                        // losing access to the NLDM tables
-                        ef.narrow_cols(0, LutModule::OUT_DIM)
-                    } else {
-                        self.lut.forward(&src, &ef)
-                    };
-                    msgs.push(
-                        self.cell_msg
-                            .forward(&Tensor::concat_cols(&[&src, &lut_out])),
-                    );
-                    dests.extend_from_slice(&g.dest_local);
-                }
-                let refs: Vec<&Tensor> = msgs.iter().collect();
-                let m = Tensor::concat_rows(&refs);
-                edge_msgs.push(m.clone());
-                let sum_ch = m.segment_sum(&dests, k);
-                let max_ch = if self.ablation.no_max_channel {
-                    sum_ch.clone()
-                } else {
-                    m.segment_max(&dests, k)
-                };
-                // Combine only at rows that actually receive cell arcs, so
-                // MLP biases do not leak onto net-fed pins.
-                let cf = &lp.cell_fed_local;
-                let comb = self.cell_combine.forward(&Tensor::concat_cols(&[
-                    &sum_ch.gather_rows(cf),
-                    &max_ch.gather_rows(cf),
-                ]));
-                comb.scatter_rows(cf, k)
-            };
-
-            let update = net_block.add(&cell_block);
-            let init_rows = x0.gather_rows(&lp.pins);
-            blocks.push(
-                self.post
-                    .forward(&Tensor::concat_cols(&[&init_rows, &update])),
-            );
+            }
         }
+        let blocks: Vec<Tensor> = blocks
+            .into_iter()
+            .map(|b| b.expect("training path keeps every block"))
+            .collect();
 
         let refs: Vec<&Tensor> = blocks.iter().collect();
-        let states = Tensor::concat_rows(&refs).gather_rows(&plan.assemble);
+        let states = if budget == 0 {
+            Tensor::concat_rows(&refs).gather_rows(&plan.assemble)
+        } else {
+            Tensor::assemble_rows(&refs, &plan.assemble)
+        };
         let atslew = self.atslew_head.forward(&states);
         let cell_delay = if edge_msgs.is_empty() {
             Tensor::zeros(&[0, 4])
@@ -228,6 +301,97 @@ impl Propagation {
             },
             PropTrace { x0, blocks },
         )
+    }
+
+    /// The streamed inference pass: chunk-by-chunk execution that releases
+    /// every level block after its last reader chunk, recycling buffers
+    /// through the tensor pool. Requires the autograd tape to be off —
+    /// final outputs are assembled row-by-row into flat buffers, which has
+    /// no backward.
+    ///
+    /// Bit-identity with the monolithic pass holds because (a) each level
+    /// runs [`Propagation::compute_level`], the same ops in the same
+    /// order; (b) the `atslew`/`cell_delay` heads are row-wise pure MLPs,
+    /// so applying them per block reproduces the full-matrix rows exactly;
+    /// (c) final `states`/`atslew`/`cell_delay` rows are plain copies in
+    /// the same layout the monolithic assembly produces.
+    fn forward_streamed(
+        &self,
+        design: &DesignGraph,
+        plan: &PropPlan,
+        embedding: &Tensor,
+    ) -> PropOutput {
+        assert!(
+            !tp_tensor::grad_enabled(),
+            "streamed propagation is inference-only; wrap in tp_tensor::no_grad"
+        );
+        let _prop_span = tp_obs::span!("levelized_prop", levels = plan.num_levels());
+        let budget = tp_partition::partition_nodes();
+        let pplan = tp_partition::PartitionPlan::by_max_nodes(&plan.level_graph(), budget);
+        pplan.publish("gnn.partition");
+        let _pool = tp_tensor::pool::scope();
+        let x0 = self
+            .init
+            .forward(&Tensor::concat_cols(&[&design.pin_features, embedding]));
+
+        let n = design.num_pins;
+        let pd = self.prop_dim;
+        let ec = design.num_cell_edges();
+        let mut states_buf = vec![0.0f32; n * pd];
+        let mut atslew_buf = vec![0.0f32; n * 8];
+        let mut celld_buf = vec![0.0f32; ec * 4];
+        let mut celld_off = 0usize;
+
+        let mut blocks: Vec<Option<Tensor>> = Vec::with_capacity(plan.num_levels());
+        for (ci, chunk) in pplan.chunks().iter().enumerate() {
+            let _chunk_span = tp_obs::span!(
+                "prop_chunk",
+                chunk = ci,
+                levels = chunk.levels.len(),
+                nodes = chunk.nodes,
+            );
+            for l in chunk.levels.clone() {
+                let lp = &plan.levels[l];
+                let (block, m) = self.compute_level(design, lp, l, &x0, &blocks);
+                {
+                    let bd = block.data();
+                    for (r, &p) in lp.pins.iter().enumerate() {
+                        states_buf[p * pd..(p + 1) * pd]
+                            .copy_from_slice(&bd[r * pd..(r + 1) * pd]);
+                    }
+                }
+                {
+                    let a = self.atslew_head.forward(&block);
+                    let ad = a.data();
+                    for (r, &p) in lp.pins.iter().enumerate() {
+                        atslew_buf[p * 8..(p + 1) * 8].copy_from_slice(&ad[r * 8..(r + 1) * 8]);
+                    }
+                }
+                if let Some(m) = m {
+                    let rows = m.shape()[0];
+                    let cd = self.celld_head.forward(&m);
+                    celld_buf[celld_off * 4..(celld_off + rows) * 4]
+                        .copy_from_slice(&cd.data());
+                    celld_off += rows;
+                }
+                blocks.push(Some(block));
+            }
+            for &l in pplan.release_after(ci) {
+                blocks[l] = None;
+            }
+        }
+        debug_assert_eq!(celld_off, ec, "cell messages must cover every cell arc");
+        tp_partition::publish_pool_stats();
+
+        PropOutput {
+            states: Tensor::from_vec(states_buf, &[n, pd]).expect("states shape"),
+            atslew: Tensor::from_vec(atslew_buf, &[n, 8]).expect("atslew shape"),
+            cell_delay: if ec == 0 {
+                Tensor::zeros(&[0, 4])
+            } else {
+                Tensor::from_vec(celld_buf, &[ec, 4]).expect("cell_delay shape")
+            },
+        }
     }
 }
 

@@ -224,7 +224,8 @@ impl TrainReport {
             .config("lr_floor", config.lr_floor)
             .config("aux", format!("{:?}", config.aux))
             .config("design_batch", config.design_batch)
-            .config("threads", tp_par::threads());
+            .config("threads", tp_par::threads())
+            .config("partition_nodes", tp_partition::partition_nodes());
         let epochs: Vec<String> = self
             .epochs
             .iter()
@@ -670,6 +671,9 @@ impl Trainer {
     /// step against divergence, and (optionally) checkpoints periodically.
     pub fn fit_with(&mut self, dataset: &Dataset, options: &FitOptions) -> TrainReport {
         let fit_t0 = Instant::now();
+        // Under a partition budget, keep one pool scope open for the whole
+        // fit so level-block buffers recycle across steps and epochs.
+        let _pool = (tp_partition::partition_nodes() > 0).then(tp_tensor::pool::scope);
         let mut report = TrainReport {
             resumed_from_epoch: self.start_epoch,
             ..TrainReport::default()
@@ -804,6 +808,7 @@ impl Trainer {
         // resume repositions it.
         self.start_epoch = 0;
         report.total_seconds = fit_t0.elapsed().as_secs_f64();
+        tp_partition::publish_pool_stats();
         report
     }
 
@@ -909,8 +914,19 @@ impl Trainer {
     }
 
     /// Forward pass without optimization (prediction).
+    ///
+    /// Under a positive `TP_PARTITION_NODES` budget the pass runs inside
+    /// [`tp_tensor::no_grad`], which routes the propagation stage onto the
+    /// streamed chunk-by-chunk path (bit-identical outputs, bounded live
+    /// memory). No caller of `predict` consumes gradients, so the tape is
+    /// pure overhead here either way.
     pub fn predict(&mut self, design: &DesignGraph) -> Prediction {
         let plan = self.plan_for(design);
+        if tp_partition::partition_nodes() > 0 {
+            let pred = tp_tensor::no_grad(|| self.model.forward(design, &plan));
+            tp_partition::publish_pool_stats();
+            return pred;
+        }
         self.model.forward(design, &plan)
     }
 
@@ -919,7 +935,11 @@ impl Trainer {
     pub fn timed_predict(&mut self, design: &DesignGraph) -> (Prediction, f64) {
         let plan = self.plan_for(design);
         let t0 = Instant::now();
-        let pred = self.model.forward(design, &plan);
+        let pred = if tp_partition::partition_nodes() > 0 {
+            tp_tensor::no_grad(|| self.model.forward(design, &plan))
+        } else {
+            self.model.forward(design, &plan)
+        };
         (pred, t0.elapsed().as_secs_f64())
     }
 

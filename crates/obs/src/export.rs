@@ -156,11 +156,26 @@ pub struct BenchEntry {
 /// `tp_bench::micro::Suite::to_json` delegates here, so trace-derived
 /// timings and micro-bench timings stay byte-compatible for downstream
 /// tooling. `threads` records the `tp-par` worker count the suite ran
-/// under, so single- and multi-thread artifacts are distinguishable.
-pub fn bench_json(suite: &str, threads: usize, entries: &[BenchEntry]) -> String {
+/// under, so single- and multi-thread artifacts are distinguishable, and
+/// `config` echoes the knobs the numbers depend on (`TP_SCALE`,
+/// `TP_PARTITION_NODES`, gemm tiles, ...) as ordered key/value pairs.
+pub fn bench_json(
+    suite: &str,
+    threads: usize,
+    config: &[(String, String)],
+    entries: &[BenchEntry],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"suite\": {},\n", escape(suite)));
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"config\": {");
+    for (i, (k, v)) in config.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", escape(k), escape(v)));
+    }
+    out.push_str("},\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -214,10 +229,11 @@ pub fn write_bench_json(
     dir: &Path,
     suite: &str,
     threads: usize,
+    config: &[(String, String)],
     entries: &[BenchEntry],
 ) -> std::io::Result<PathBuf> {
     let path = dir.join(format!("BENCH_{suite}.json"));
-    write_file(&path, &bench_json(suite, threads, entries))?;
+    write_file(&path, &bench_json(suite, threads, config, entries))?;
     Ok(path)
 }
 
@@ -314,10 +330,12 @@ mod tests {
             iters_per_sample: 10,
             samples: 3,
         }];
-        let j = bench_json("json\"test", 4, &entries);
+        let config = vec![("scale".to_string(), "0.02".to_string())];
+        let j = bench_json("json\"test", 4, &config, &entries);
         crate::json::validate(&j).unwrap();
         assert!(j.contains("\"suite\": \"json\\\"test\""));
         assert!(j.contains("\"threads\": 4"));
+        assert!(j.contains("\"config\": {\"scale\": \"0.02\"}"));
         assert!(j.contains("\"name\": \"a\\\\b\""));
         assert!(j.contains("\"median_ns\": 1.5"));
     }

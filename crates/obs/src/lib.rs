@@ -110,6 +110,39 @@ pub(crate) fn record(event: TraceEvent) {
     lock_recover(&EVENTS).push(event);
 }
 
+/// Peak resident set size of this process in bytes, or 0 where the
+/// platform does not expose it.
+///
+/// On Linux this reads `VmHWM` from `/proc/self/status` — the
+/// high-water mark of physical memory the kernel has charged to the
+/// process, which is exactly the number a memory budget (e.g. the
+/// `TP_PARTITION_NODES` streaming path at `TP_SCALE=1.0`) should be
+/// judged against. Elsewhere it returns 0 so manifests stay
+/// schema-stable without a platform guess.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Everything collected since the last drain: trace events in end-time
 /// order plus a snapshot of every registered metric.
 #[derive(Debug, Clone, Default)]

@@ -33,6 +33,9 @@ pub struct RunReport {
     pub config: Vec<(String, String)>,
     /// Total wall time of the run, nanoseconds, measured by the caller.
     pub total_wall_ns: u64,
+    /// Peak resident set size in bytes ([`crate::peak_rss_bytes`] at
+    /// report construction); 0 where the platform does not expose it.
+    pub peak_rss_bytes: u64,
     /// Phase aggregation (see [`RunReport::from_obs`]).
     pub phases: Vec<PhaseSummary>,
     /// Metric snapshots at drain time.
@@ -76,6 +79,7 @@ impl RunReport {
             seed,
             config: Vec::new(),
             total_wall_ns,
+            peak_rss_bytes: crate::peak_rss_bytes(),
             phases,
             metrics: data.metrics.clone(),
             sections: Vec::new(),
@@ -114,6 +118,7 @@ impl RunReport {
         out.push_str(&format!("  \"run\": {},\n", escape(&self.run)));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"total_wall_ns\": {},\n", self.total_wall_ns));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         out.push_str("  \"config\": {");
         for (i, (k, v)) in self.config.iter().enumerate() {
             if i > 0 {
@@ -213,6 +218,7 @@ mod tests {
         let j = r.to_json();
         validate(&j).unwrap();
         assert!(j.contains("\"seed\": 7"));
+        assert!(j.contains("\"peak_rss_bytes\": "));
         assert!(j.contains("\"epochs\": \"3\""));
         assert!(j.contains("\"divergences\": [{\"step\": 1}]"));
     }

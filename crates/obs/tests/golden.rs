@@ -120,6 +120,8 @@ fn run_report_matches_golden() {
         ],
     };
     let mut report = RunReport::from_obs("train", 42, 4_100, &data);
+    // Pin the live VmHWM reading so the golden stays byte-stable.
+    report.peak_rss_bytes = 123_456_789;
     report.config("epochs", 1).config("designs", "s27");
     report.section("divergences", "[{\"epoch\": 0, \"step\": 7}]".to_string());
     let json = report.to_json();
@@ -155,7 +157,11 @@ fn bench_json_matches_golden() {
             samples: 3,
         },
     ];
-    let json = bench_json("train", 1, &entries);
+    let config = vec![
+        ("tp_scale".to_string(), "0.02".to_string()),
+        ("tp_partition_nodes".to_string(), "0".to_string()),
+    ];
+    let json = bench_json("train", 1, &config, &entries);
     tp_obs::json::validate(&json).unwrap();
     check_golden("BENCH_train.json", &json);
 }

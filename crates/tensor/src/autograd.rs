@@ -1,11 +1,63 @@
 //! Reverse-mode sweep: topological ordering, gradient propagation, and the
 //! thread-local gradient sink that makes parallel per-design training safe.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Mutex, PoisonError};
 
 use crate::Tensor;
+
+// ---------------------------------------------------------------------------
+// No-grad mode
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// When set, `Tensor::from_op` drops parents and backward closures even
+    /// if a parent requires gradients, so a forward pass builds no tape.
+    /// Thread-local: a no-grad prediction on one tp-par worker must not
+    /// disable tape building for training running elsewhere.
+    static NO_GRAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether operations currently record the autograd tape on this thread.
+/// `false` inside a [`no_grad`] region — executors use this to pick
+/// inference-only paths (e.g. the streamed partitioned propagation).
+pub fn grad_enabled() -> bool {
+    NO_GRAD.with(|c| !c.get())
+}
+
+struct NoGradGuard {
+    prev: bool,
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        NO_GRAD.with(|c| c.set(self.prev));
+    }
+}
+
+/// Runs `f` with tape recording disabled on this thread: every op built
+/// inside behaves as pure data flow (no parents, no backward closures, no
+/// `requires_grad` propagation). Scopes nest and restore on panic.
+///
+/// # Example
+///
+/// ```
+/// # use tp_tensor::{no_grad, Tensor};
+/// let w = Tensor::from_slice(&[2.0]).with_grad();
+/// let y = no_grad(|| w.mul(&w));
+/// assert!(!y.requires_grad());
+/// y.backward(); // no-op: there is no tape
+/// assert!(w.grad().is_none());
+/// ```
+pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+    let guard = NoGradGuard {
+        prev: NO_GRAD.with(|c| c.replace(true)),
+    };
+    let out = f();
+    drop(guard);
+    out
+}
 
 impl Tensor {
     /// Runs backpropagation from this tensor.

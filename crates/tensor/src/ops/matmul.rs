@@ -1,26 +1,90 @@
 //! Dense matrix multiplication and 2-D transpose.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use crate::tensor::BackwardFn;
 use crate::{Shape, Tensor};
 
-/// `out[m,n] += a[m,k] * b[k,n]` with an i-k-j loop order that streams both
-/// operands row-major (cache friendly for the small K typical of MLPs).
+/// Default K tile: 256 B rows × 128 ≈ a third of a 32 KiB L1 for the
+/// `b`-panel at the default J tile, leaving room for the output band.
+const DEFAULT_TILE_K: usize = 128;
+/// Default J (output-column) tile: 64 floats = 256 B per `b` row.
+const DEFAULT_TILE_J: usize = 64;
+
+/// Programmatic tile overrides (0 = fall back to env/default). Bench hook
+/// for the tile sweep; env knobs are `TP_GEMM_TILE_K` / `TP_GEMM_TILE_J`.
+static TILE_K_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static TILE_J_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_tile(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(default)
+}
+
+/// The active `(tile_k, tile_j)` blocking of the gemm kernel. Tiling only
+/// regroups the cache traversal — per-element accumulation order is
+/// unchanged — so any tile size yields bit-identical products.
+pub fn gemm_tiles() -> (usize, usize) {
+    static ENV: OnceLock<(usize, usize)> = OnceLock::new();
+    let (env_k, env_j) = *ENV.get_or_init(|| {
+        (
+            env_tile("TP_GEMM_TILE_K", DEFAULT_TILE_K),
+            env_tile("TP_GEMM_TILE_J", DEFAULT_TILE_J),
+        )
+    });
+    let k = TILE_K_OVERRIDE.load(Ordering::Relaxed);
+    let j = TILE_J_OVERRIDE.load(Ordering::Relaxed);
+    (if k > 0 { k } else { env_k }, if j > 0 { j } else { env_j })
+}
+
+/// Overrides the gemm tile sizes (0 restores the env/default value).
+pub fn set_gemm_tiles(tile_k: usize, tile_j: usize) {
+    TILE_K_OVERRIDE.store(tile_k, Ordering::Relaxed);
+    TILE_J_OVERRIDE.store(tile_j, Ordering::Relaxed);
+}
+
+/// `out[m,n] += a[m,k] * b[k,n]`, blocked for cache: the column range is
+/// cut into `tile_j` bands and the inner dimension into `tile_k` panels,
+/// so the `tile_k × tile_j` panel of `b` stays L1-resident while every
+/// row of `a` streams across it.
+///
+/// Determinism: for a fixed output element `(i, j)` the contributions are
+/// added in ascending `p` — k-panels ascend and `p` ascends within each
+/// panel, while the j-blocking never touches the same element twice — the
+/// exact accumulation order of the straight i-k-j kernel this replaced.
+/// Same `av == 0.0` skip, so the float-op sequence is identical too.
 fn gemm_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let (tile_k, tile_j) = gemm_tiles();
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + tile_j).min(n);
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + tile_k).min(k);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n + j0..i * n + j1];
+                for (off, &av) in arow[p0..p1].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let p = p0 + off;
+                    let brow = &b[p * n + j0..p * n + j1];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+            p0 = p1;
         }
+        j0 = j1;
     }
 }
 
@@ -48,7 +112,7 @@ fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
 }
 
 fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0; src.len()];
+    let mut out = crate::pool::take_zeroed(src.len());
     for i in 0..rows {
         for j in 0..cols {
             out[j * rows + i] = src[i * cols + j];
@@ -85,7 +149,7 @@ impl Tensor {
             self.shape_obj(),
             rhs.shape_obj()
         );
-        let mut out = vec![0.0; m * n];
+        let mut out = crate::pool::take_zeroed(m * n);
         gemm(&self.data(), &rhs.data(), m, k, n, &mut out);
 
         let lhs_snap = self.to_vec();
@@ -95,15 +159,19 @@ impl Tensor {
             // dL/dA = G · Bᵀ ; dL/dB = Aᵀ · G
             if lhs_t.requires_grad() {
                 let bt = transpose(&rhs_snap, k, n);
-                let mut ga = vec![0.0; m * k];
+                let mut ga = crate::pool::take_zeroed(m * k);
                 gemm(g, &bt, m, n, k, &mut ga);
                 lhs_t.accumulate_grad(&ga);
+                crate::pool::recycle(bt);
+                crate::pool::recycle(ga);
             }
             if rhs_t.requires_grad() {
                 let at = transpose(&lhs_snap, m, k);
-                let mut gb = vec![0.0; k * n];
+                let mut gb = crate::pool::take_zeroed(k * n);
                 gemm(&at, g, k, m, n, &mut gb);
                 rhs_t.accumulate_grad(&gb);
+                crate::pool::recycle(at);
+                crate::pool::recycle(gb);
             }
         });
         Tensor::from_op(
@@ -135,6 +203,66 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use crate::Tensor;
+
+    /// The straight i-k-j kernel the tiled version replaced — kept as the
+    /// bit-identity reference for the accumulation-order contract.
+    fn gemm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    fn pseudo(seed: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i * 2654435761 + seed * 40503) % 1013;
+                // sprinkle exact zeros so the skip path is exercised
+                if h.is_multiple_of(11) {
+                    0.0
+                } else {
+                    (h as f32 - 506.0) * 0.0173
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_gemm_is_bit_identical_to_straight_kernel() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 129, 65), (5, 300, 2), (64, 64, 64)] {
+            let a = pseudo(m + n, m * k);
+            let b = pseudo(k, k * n);
+            let mut want = vec![0.0; m * n];
+            gemm_ref(&a, &b, m, k, n, &mut want);
+            for &(tk, tj) in &[(1, 1), (2, 3), (7, 5), (128, 64), (4096, 4096)] {
+                super::set_gemm_tiles(tk, tj);
+                let mut got = vec![0.0; m * n];
+                super::gemm_rows(&a, &b, m, k, n, &mut got);
+                super::set_gemm_tiles(0, 0);
+                let wb: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+                let gb: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(wb, gb, "tiles ({tk},{tj}) changed bits at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tile_overrides_and_env_defaults() {
+        super::set_gemm_tiles(33, 17);
+        assert_eq!(super::gemm_tiles(), (33, 17));
+        super::set_gemm_tiles(0, 0);
+        let (tk, tj) = super::gemm_tiles();
+        assert!(tk > 0 && tj > 0, "defaults must be positive");
+    }
 
     #[test]
     fn matmul_2x3_3x2() {

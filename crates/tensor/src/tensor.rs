@@ -54,6 +54,22 @@ pub(crate) struct Inner {
     pub(crate) backward: Option<BackwardFn>,
 }
 
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Under an active pool scope the storage goes back to the free
+        // lists instead of the allocator; chunked execution reuses it for
+        // the next chunk's blocks. `get_mut` needs no lock — we hold the
+        // only reference — so this costs one atomic load when disabled.
+        if crate::pool::enabled() {
+            let data = std::mem::take(self.data.get_mut().unwrap_or_else(PoisonError::into_inner));
+            crate::pool::recycle(data);
+            if let Some(g) = self.grad.get_mut().unwrap_or_else(PoisonError::into_inner).take() {
+                crate::pool::recycle(g);
+            }
+        }
+    }
+}
+
 /// A dense `f32` tensor participating in a dynamic autograd graph.
 ///
 /// `Tensor` is a cheap reference-counted handle (`Arc`); cloning shares
@@ -112,7 +128,7 @@ impl Tensor {
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor::leaf(vec![0.0; n], Shape::new(shape))
+        Tensor::leaf(crate::pool::take_zeroed(n), Shape::new(shape))
     }
 
     /// A tensor filled with ones.
@@ -179,7 +195,12 @@ impl Tensor {
         parents: Vec<Tensor>,
         backward: BackwardFn,
     ) -> Tensor {
-        let needs = parents.iter().any(Tensor::requires_grad);
+        // Inside a `no_grad` scope nothing records a tape, even when a
+        // parent is a trainable parameter — that is what lets streaming
+        // inference release per-level blocks as soon as their readers are
+        // done (the tape would otherwise pin every intermediate).
+        let needs =
+            crate::autograd::grad_enabled() && parents.iter().any(Tensor::requires_grad);
         Tensor {
             inner: Arc::new(Inner {
                 id: next_id(),

@@ -48,8 +48,13 @@ run_suite() {
 # only meaningful at a fixed, recorded worker count, and "default" would
 # silently resolve to hardware_threads() — 1 on a single-core CI box.
 export TP_THREADS="${TP_THREADS:-4}"
+# Every BENCH_*.json echoes a "config" block with the knobs its numbers
+# depend on; pin them explicitly (environment-overridable) so the echo
+# records concrete values instead of "default".
+export TP_SCALE="${TP_SCALE:-default}"
+export TP_PARTITION_NODES="${TP_PARTITION_NODES:-0}"
 export TP_BENCH_OUT="$OUT_DIR"
-SUITES=(train sta engines models tensor_ops scenarios serve)
+SUITES=(train sta engines models tensor_ops scenarios serve partition)
 for suite in "${SUITES[@]}"; do
     echo "== bench: $suite (TP_THREADS=$TP_THREADS) =="
     run_suite "$suite"

@@ -34,6 +34,22 @@ echo "== tier1: scenario sweep suite (release) =="
 cargo test -q -p tp-scenarios --offline --release
 cargo test -q --offline --release --test scenarios
 
+echo "== tier1: partitioned-execution suite (release) =="
+cargo test -q -p tp-partition --offline --release
+# Bit-identity of partitioned vs monolithic execution — the tp-partition
+# contract — across chunk budgets and thread counts, GNN and STA.
+cargo test -q --offline --release --test partition
+
+echo "== tier1: partitioned training smoke (TP_SCALE=0.05 example) =="
+# The training example, chunked: the whole fit must run under a live-node
+# budget and still converge to a finite loss. Exercises the pooled
+# allocator and the partitioned grad path end to end.
+if ! TP_PARTITION_NODES=4096 \
+    cargo run -q --offline --release --example train_slack 0.05 2 >/dev/null; then
+    echo "tier1: FAIL — partitioned training smoke did not complete" >&2
+    exit 1
+fi
+
 echo "== tier1: serving suite (release) =="
 cargo test -q -p tp-serve --offline --release
 cargo test -q -p tp-serve --offline --release --test fuzz_codec
@@ -90,6 +106,14 @@ fi
 echo "== tier1: hermeticity (tp-par stays dependency-free) =="
 if grep -n '^\[dependencies\]' crates/par/Cargo.toml; then
     echo "tier1: FAIL — tp-par must not grow a [dependencies] section" >&2
+    exit 1
+fi
+
+echo "== tier1: hermeticity (tp-partition depends on workspace crates only) =="
+if sed -n '/^\[dependencies\]/,$p' crates/partition/Cargo.toml \
+    | grep -E '^[a-z0-9_-]+ *=' | grep -v '^tp-[a-z-]* *= *{ *workspace = true' \
+    | grep -v '^tp-[a-z-]*\.workspace *= *true'; then
+    echo "tier1: FAIL — non-workspace dependency in tp-partition above" >&2
     exit 1
 fi
 
