@@ -1,0 +1,179 @@
+//! Benchmarks for the serving batch path: concurrent-client throughput
+//! with coalescing off vs on, plus the realized coalesce sizes from the
+//! `serve.batch_size` histogram. Emits `BENCH_serve_batch.json`
+//! (collected by `scripts/bench.sh`).
+//!
+//! Shape: N clients per design hammer `predict`/`slack` over loopback —
+//! the "placement loop fan-in" pattern batching exists for. The same
+//! request storm runs against an unbatched server (window 0) and a
+//! batched one (window + max from `TP_BATCH_WINDOW_US`/`TP_BATCH_MAX`,
+//! defaulting to 200µs/16 here), so the two queries/sec numbers are
+//! directly comparable. `TP_BENCH_FAST` shrinks the storm for
+//! `scripts/bench.sh --smoke`.
+
+use tp_bench::micro::{black_box, BenchResult, Suite};
+use tp_gnn::{FaultPlan, ModelConfig, TimingGnn};
+use tp_obs::metrics::HistSummary;
+use tp_serve::{register_line, Client, RegisterSpec, ServeConfig, Server};
+
+const DESIGNS: [&str; 3] = ["usb", "spm", "xtea"];
+
+fn model_config() -> ModelConfig {
+    ModelConfig {
+        embed_dim: 4,
+        prop_dim: 6,
+        hidden: vec![8],
+        seed: 1,
+        ablation: Default::default(),
+    }
+}
+
+fn serve_config(window_us: u64, max: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 64,
+        deadline_ms: 0,
+        snapshot_dir: None,
+        batch_window_us: window_us,
+        batch_max: max,
+        lib_seed: 0,
+        model_config: model_config(),
+        faults: FaultPlan::none(),
+        fault_seed: 0,
+        obs_out: None,
+    }
+}
+
+/// Boots a server, registers the design suite over the wire, and warms
+/// every session (the first predict runs the full forward pass).
+fn boot(window_us: u64, max: usize) -> Server {
+    let config = serve_config(window_us, max);
+    let server = Server::start(config, TimingGnn::new(&model_config())).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for design in DESIGNS {
+        // Large enough that the handler (forward state + slack array
+        // rendering) dominates socket overhead — the regime batching
+        // exists for.
+        let spec = RegisterSpec {
+            name: design.to_string(),
+            design: design.to_string(),
+            scale: 0.05,
+            seed: 7,
+            utilization: 0.7,
+            clock_period_ns: 2.0,
+            depth: None,
+        };
+        client
+            .send(&register_line(Some(1), &spec))
+            .expect("socket")
+            .expect("reply");
+        client
+            .send(&format!(r#"{{"op":"predict","design":"{design}","id":0}}"#))
+            .expect("socket")
+            .expect("reply");
+    }
+    server
+}
+
+/// Runs the request storm: `clients_per_design` concurrent clients each
+/// sending `requests` alternating predict/slack queries. Returns
+/// mean ns/request (wall-clock across the whole storm).
+fn storm(server: &Server, clients_per_design: usize, requests: u64) -> f64 {
+    let addr = server.local_addr();
+    let total = DESIGNS.len() as u64 * clients_per_design as u64 * requests;
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for &design in &DESIGNS {
+            for _ in 0..clients_per_design {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..requests {
+                        let op = if i % 2 == 0 { "predict" } else { "slack" };
+                        let reply = client
+                            .send(&format!(r#"{{"op":"{op}","design":"{design}","id":{i}}}"#))
+                            .expect("socket")
+                            .expect("reply");
+                        black_box(reply);
+                    }
+                });
+            }
+        }
+    });
+    t0.elapsed().as_nanos() as f64 / total as f64
+}
+
+fn record_throughput(suite: &mut Suite, name: &str, ns_per_req: f64, total: u64) {
+    suite.record(BenchResult {
+        name: name.into(),
+        median_ns: ns_per_req,
+        mean_ns: ns_per_req,
+        min_ns: ns_per_req,
+        max_ns: ns_per_req,
+        iters_per_sample: total,
+        samples: 1,
+    });
+}
+
+fn main() {
+    let mut suite = Suite::new("serve_batch");
+    let fast = std::env::var("TP_BENCH_FAST").is_ok();
+    let clients_per_design = if fast { 2 } else { 4 };
+    let requests = if fast { 20u64 } else { 200 };
+    let total = DESIGNS.len() as u64 * clients_per_design as u64 * requests;
+
+    let window_us = std::env::var("TP_BATCH_WINDOW_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    let batch_max = std::env::var("TP_BATCH_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16usize);
+
+    // Unbatched reference: window 0, every request executes inline.
+    tp_obs::reset();
+    tp_obs::enable();
+    let server = boot(0, batch_max);
+    let unbatched_ns = storm(&server, clients_per_design, requests);
+    server.shutdown();
+    tp_obs::disable();
+    tp_obs::reset();
+    eprintln!(
+        "[serve_batch] unbatched: {:.0} queries/sec ({} clients)",
+        1e9 / unbatched_ns,
+        DESIGNS.len() * clients_per_design,
+    );
+
+    // Batched: same storm through a coalescing window.
+    tp_obs::enable();
+    let server = boot(window_us, batch_max);
+    let batched_ns = storm(&server, clients_per_design, requests);
+    server.shutdown();
+    tp_obs::disable();
+    let data = tp_obs::drain();
+    let sizes: HistSummary = *data
+        .histogram("serve.batch_size")
+        .expect("batch dispatch records coalesce sizes");
+    eprintln!(
+        "[serve_batch] batched ({window_us}µs/{batch_max}): {:.0} queries/sec, \
+         {} batches, coalesce p50 {} max {}",
+        1e9 / batched_ns,
+        sizes.count,
+        sizes.p50,
+        sizes.max,
+    );
+
+    record_throughput(&mut suite, "storm/unbatched_roundtrip", unbatched_ns, total);
+    record_throughput(&mut suite, "storm/batched_roundtrip", batched_ns, total);
+    suite.record(BenchResult {
+        name: "storm/coalesce_size_p50".into(),
+        median_ns: sizes.p50 as f64,
+        mean_ns: sizes.sum as f64 / sizes.count.max(1) as f64,
+        min_ns: sizes.min as f64,
+        max_ns: sizes.max as f64,
+        iters_per_sample: 1,
+        samples: sizes.count as usize,
+    });
+
+    suite.finish();
+}

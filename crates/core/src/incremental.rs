@@ -150,6 +150,18 @@ impl IncrementalGnn {
     /// drift from the features they were computed from.
     pub fn new(model: Arc<TimingGnn>, design: DesignGraph, placement: Placement) -> IncrementalGnn {
         let plan = PropPlan::build(&design);
+        IncrementalGnn::with_plan(model, design, placement, plan)
+    }
+
+    /// Like [`IncrementalGnn::new`] but reusing an already-levelized
+    /// `plan` for the same design (the serving registry caches plans per
+    /// content hash; a stale or mismatched plan is a logic error).
+    pub fn with_plan(
+        model: Arc<TimingGnn>,
+        design: DesignGraph,
+        placement: Placement,
+        plan: PropPlan,
+    ) -> IncrementalGnn {
         let n = design.num_pins;
         let embed_dim = model.config().embed_dim;
         let prop_dim = model.config().prop_dim;

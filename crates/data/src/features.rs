@@ -376,6 +376,25 @@ impl DesignGraph {
         Ok(())
     }
 
+    /// A clone whose ECO-mutable feature tensors own fresh storage.
+    ///
+    /// `DesignGraph::clone` shares tensor storage, so a cached graph
+    /// handed to independent sessions would alias `apply_moves` writes
+    /// between them. Only `pin_features` and `net_edge_features` are ever
+    /// mutated (by [`apply_moves`](Self::apply_moves)); deep-copying
+    /// exactly those two keeps cache reuse sound without duplicating the
+    /// immutable bulk of the graph.
+    pub fn deep_clone(&self) -> DesignGraph {
+        let mut out = self.clone();
+        out.pin_features =
+            Tensor::from_vec(self.pin_features.to_vec(), self.pin_features.shape())
+                .expect("clone preserves shape");
+        out.net_edge_features =
+            Tensor::from_vec(self.net_edge_features.to_vec(), self.net_edge_features.shape())
+                .expect("clone preserves shape");
+        out
+    }
+
     /// Number of net edges.
     pub fn num_net_edges(&self) -> usize {
         self.net_src.len()

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod grid;
 pub mod journal;
 pub mod report;
+pub mod serve_eval;
 
 pub use engine::{
     backoff_ms, ground_truth_evaluator, run_sweep, CellCtx, SweepConfig, SweepError,
@@ -52,4 +53,7 @@ pub use engine::{
 pub use grid::{CellSpec, CornerSet, GridError, SweepGrid};
 pub use journal::{
     CellMetrics, CellRecord, CellStatus, Journal, JournalError, SweepHeader, JOURNAL_FILE,
+};
+pub use serve_eval::{
+    metrics_from_slacks, prediction_evaluator, register_spec_for_cell, serve_evaluator,
 };

@@ -1,0 +1,222 @@
+//! Bounded request coalescing for the serving hot path.
+//!
+//! When `TP_BATCH_WINDOW_US > 0`, connection threads hand batchable
+//! requests (`predict` / `slack` / `move_pins`) to a single dispatcher
+//! thread instead of executing them inline. The dispatcher gathers
+//! everything that arrives within one window (or until `TP_BATCH_MAX`
+//! items), executes the batch, and fans each reply back to the waiting
+//! connection thread over a per-item channel.
+//!
+//! The contract is **bit-identity**: a batched request passes through
+//! exactly the same per-request machinery (panic isolation, fault
+//! injection, deadline accounting, session locking) as a serial one, so
+//! the reply bytes — including `prediction_hash` — are identical either
+//! way. Batching only changes *when* a request runs and what runs
+//! alongside it, never what it computes.
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tp_gnn::RequestFault;
+
+use crate::protocol::Envelope;
+
+/// One queued request plus everything its executor needs.
+#[derive(Debug)]
+pub(crate) struct BatchItem {
+    /// The parsed request.
+    pub envelope: Envelope,
+    /// The injected fault drawn for this request index, if any.
+    pub fault: Option<RequestFault>,
+    /// The armed deadline (`None` = deadlines disabled).
+    pub deadline_ns: Option<u64>,
+    /// Where the rendered reply line goes (the connection thread blocks
+    /// on the other end).
+    pub reply: Sender<String>,
+}
+
+/// The connection-thread side of the coalescing queue.
+pub(crate) struct BatchQueue {
+    tx: Mutex<Option<Sender<BatchItem>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl BatchQueue {
+    /// Builds the queue; the receiver goes to the dispatcher thread.
+    pub fn new() -> (BatchQueue, Receiver<BatchItem>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            BatchQueue {
+                tx: Mutex::new(Some(tx)),
+                handle: Mutex::new(None),
+            },
+            rx,
+        )
+    }
+
+    /// Records the dispatcher thread so [`BatchQueue::close`] can join it.
+    pub fn set_handle(&self, handle: JoinHandle<()>) {
+        *self.handle.lock().unwrap_or_else(|p| p.into_inner()) = Some(handle);
+    }
+
+    /// Submits an item for coalesced execution. Returns the item back if
+    /// the queue is already closed — the caller executes inline instead,
+    /// so a request can never be lost to a drain race.
+    ///
+    /// The large `Err` variant is the point: the rejected item must come
+    /// back whole (envelope, fault, deadline, reply channel) or the
+    /// bounce-to-inline path would lose state. One per rejected request,
+    /// on the cold path only.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, item: BatchItem) -> Result<(), BatchItem> {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        match tx {
+            Some(tx) => tx.send(item).map_err(|e| e.0),
+            None => Err(item),
+        }
+    }
+
+    /// Closes the queue and joins the dispatcher. Items already submitted
+    /// are still executed and answered: dropping the sender makes the
+    /// dispatcher's `recv` drain the buffer and then exit.
+    pub fn close(&self) {
+        self.tx.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let handle = self.handle.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+}
+
+/// The dispatcher loop: gather up to one window's worth of items
+/// (bounded by `max`), hand them to `execute`, repeat until every sender
+/// is gone.
+///
+/// The window bounds the *total* wait from the first item; within it,
+/// the batch closes early once arrivals go quiet for `window/8`. A
+/// blocked client population cannot refill the queue until its replies
+/// fan back out, so idling through the rest of the window after the
+/// arrival wave has drained would stall the whole loop for nothing.
+pub(crate) fn dispatch_loop(
+    rx: Receiver<BatchItem>,
+    window: Duration,
+    max: usize,
+    execute: impl Fn(Vec<BatchItem>),
+) {
+    let quiet_gap = (window / 8).max(Duration::from_micros(1));
+    while let Ok(first) = rx.recv() {
+        let mut items = vec![first];
+        let deadline = Instant::now() + window;
+        'gather: while items.len() < max {
+            // Drain everything already queued before deciding to wait.
+            loop {
+                match rx.try_recv() {
+                    Ok(item) => {
+                        items.push(item);
+                        if items.len() >= max {
+                            break 'gather;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break 'gather,
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(quiet_gap.min(deadline - now)) {
+                Ok(item) => items.push(item),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        execute(items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn item(design: &str, reply: Sender<String>) -> BatchItem {
+        BatchItem {
+            envelope: Envelope {
+                id: None,
+                request: Request::Predict { design: design.to_string() },
+            },
+            fault: None,
+            deadline_ns: None,
+            reply,
+        }
+    }
+
+    #[test]
+    fn close_drains_submitted_items_before_joining() {
+        let (queue, rx) = BatchQueue::new();
+        // A slow-start dispatcher: everything below is buffered before the
+        // loop wakes, so close() must still deliver every reply.
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            dispatch_loop(rx, Duration::from_micros(100), 4, |items| {
+                for it in items {
+                    let _ = it.reply.send("done".to_string());
+                }
+            });
+        });
+        queue.set_handle(handle);
+        let receivers: Vec<_> = (0..10)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel();
+                queue.submit(item(&format!("d{i}"), tx)).expect("queue open");
+                rx
+            })
+            .collect();
+        queue.close();
+        for rx in receivers {
+            assert_eq!(rx.recv().expect("reply delivered"), "done");
+        }
+        // After close, submissions bounce back for inline execution.
+        let (tx, _rx) = mpsc::channel();
+        assert!(queue.submit(item("late", tx)).is_err());
+    }
+
+    #[test]
+    fn window_caps_batch_size_at_max() {
+        let (queue, rx) = BatchQueue::new();
+        let sizes: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            let dispatcher = s.spawn(|| {
+                // A wide-open window: only `max` can bound the batches.
+                dispatch_loop(rx, Duration::from_secs(5), 3, |items| {
+                    sizes.lock().unwrap().push(items.len());
+                    for it in items {
+                        let _ = it.reply.send(String::new());
+                    }
+                });
+            });
+            let receivers: Vec<_> = (0..7)
+                .map(|i| {
+                    let (tx, rx) = mpsc::channel();
+                    queue.submit(item(&format!("d{i}"), tx)).expect("queue open");
+                    rx
+                })
+                .collect();
+            queue.tx.lock().unwrap().take(); // close without joining (scoped)
+            for rx in receivers {
+                rx.recv().expect("reply delivered");
+            }
+            dispatcher.join().expect("dispatcher exits");
+        });
+        let sizes = sizes.into_inner().unwrap();
+        assert!(sizes.iter().all(|&n| n <= 3), "batches capped at max: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 7, "every item executed once");
+    }
+}

@@ -21,21 +21,31 @@
 //! - **Server** ([`server`]) — thread-per-connection with bounded
 //!   admission (`overloaded` replies beyond `TP_SERVE_QUEUE` in-flight
 //!   requests), EWMA-scaled per-request deadlines (`TP_REQ_DEADLINE_MS`
-//!   floor), per-request panic isolation with session quarantine, and
-//!   graceful drain that flushes a tp-obs run manifest. Seeded
-//!   [`tp_gnn::FaultPlan`] request faults make every failure path
-//!   deterministically testable.
+//!   floor; 0 disables deadlines), per-request panic isolation with
+//!   session quarantine, and graceful drain that flushes a tp-obs run
+//!   manifest. Seeded [`tp_gnn::FaultPlan`] request faults make every
+//!   failure path deterministically testable.
+//! - **Registry** ([`registry`]) — the wire `register` op ships design
+//!   parameters over JSONL; builds are cached under a content hash so
+//!   re-registration and duplicate designs are free (DESIGN.md §12).
+//! - **Batching** ([`batch`]) — a bounded coalescing window
+//!   (`TP_BATCH_WINDOW_US` / `TP_BATCH_MAX`) gathers concurrent
+//!   batchable requests across designs into one dispatch; replies stay
+//!   bit-identical to serial execution (DESIGN.md §12).
 
+pub(crate) mod batch;
 pub mod client;
 pub mod json;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod session;
 pub mod snapshot;
 
 pub use client::Client;
 pub use json::JsonValue;
-pub use protocol::{Envelope, Request};
+pub use protocol::{register_line, Envelope, RegisterSpec, Request};
+pub use registry::{content_hash, CachedDesign, DesignRegistry};
 pub use server::{prediction_hash, DrainReport, ServeConfig, Server};
 pub use session::DesignSession;
 pub use snapshot::{ModelSnapshot, SnapshotError, SnapshotStore};

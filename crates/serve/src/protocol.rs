@@ -30,6 +30,31 @@ pub mod error_kind {
     pub const UNKNOWN_DESIGN: &str = "unknown_design";
 }
 
+/// A design specification shipped over the wire by the `register` op.
+///
+/// The server synthesizes the circuit, places it, runs the STA flow, and
+/// builds the `DesignGraph` + levelized `PropPlan` from these parameters.
+/// Everything except `name` participates in the content hash that keys
+/// the server-side design cache, so two registrations with identical
+/// parameters share one build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterSpec {
+    /// Session name the design is registered under (defaults to `design`).
+    pub name: String,
+    /// Benchmark name (`tp_gen::BenchmarkSpec::by_name`).
+    pub design: String,
+    /// Size multiplier passed to the generator.
+    pub scale: f64,
+    /// Generator/placer seed.
+    pub seed: u64,
+    /// Placement utilization in `(0, 1]`.
+    pub utilization: f32,
+    /// Clock period for the STA flow, in nanoseconds.
+    pub clock_period_ns: f32,
+    /// Logic-depth override; `None` derives a depth from the design size.
+    pub depth: Option<usize>,
+}
+
 /// One decoded request operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -55,6 +80,12 @@ pub enum Request {
         design: String,
         /// The moves (absolute coordinates).
         moves: Vec<PinMove>,
+    },
+    /// Build (or fetch from the content-hash cache) a design on the
+    /// server and register a session for it.
+    Register {
+        /// The design parameters.
+        spec: RegisterSpec,
     },
     /// Hot-swap the model snapshot from a checkpoint file (`path`) or the
     /// newest valid checkpoint in the configured snapshot dir.
@@ -90,6 +121,32 @@ fn required_str(v: &JsonValue, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing string field {key:?}"))
 }
 
+/// Reads a required number field and narrows it to `f32`, rejecting
+/// values that stop being finite after the cast. The JSON parser already
+/// refuses non-finite `f64` literals, but a finite `f64` like `1e40`
+/// still overflows `f32` to `inf` — without this check it would sail
+/// into the session layer.
+fn finite_f32(v: &JsonValue, key: &str) -> Result<f32, String> {
+    let raw = v
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing number {key:?}"))?;
+    let narrowed = raw as f32;
+    if !narrowed.is_finite() {
+        return Err(format!("{key:?} = {raw:e} overflows f32"));
+    }
+    Ok(narrowed)
+}
+
+/// Like [`finite_f32`] but with a default when the field is absent.
+/// Present-but-wrong-typed fields are rejected, not defaulted.
+fn optional_finite_f32(v: &JsonValue, key: &str, default: f32) -> Result<f32, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => finite_f32(v, key),
+    }
+}
+
 /// Parses one request line. Any failure is a `bad_request` candidate —
 /// the caller turns the message into a structured error reply.
 pub fn parse_request(line: &str) -> Result<Envelope, String> {
@@ -120,21 +177,71 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                     .get("pin")
                     .and_then(JsonValue::as_u64)
                     .ok_or_else(|| format!("moves[{i}]: missing integer \"pin\""))?;
-                let x = m
-                    .get("x")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or_else(|| format!("moves[{i}]: missing number \"x\""))?;
-                let y = m
-                    .get("y")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or_else(|| format!("moves[{i}]: missing number \"y\""))?;
-                moves.push(PinMove {
-                    pin: pin as usize,
-                    x: x as f32,
-                    y: y as f32,
-                });
+                let pin = usize::try_from(pin)
+                    .map_err(|_| format!("moves[{i}]: pin index {pin} overflows usize"))?;
+                let x = finite_f32(m, "x").map_err(|e| format!("moves[{i}]: {e}"))?;
+                let y = finite_f32(m, "y").map_err(|e| format!("moves[{i}]: {e}"))?;
+                moves.push(PinMove { pin, x, y });
             }
             Request::MovePins { design, moves }
+        }
+        "register" => {
+            let design = required_str(&v, "design")?;
+            let name = match v.get("name") {
+                None => design.clone(),
+                Some(n) => n
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or("field \"name\" must be a string")?,
+            };
+            if name.is_empty() {
+                return Err("field \"name\" must be non-empty".to_string());
+            }
+            let scale = match v.get("scale") {
+                None => 0.01,
+                Some(s) => s.as_f64().ok_or("field \"scale\" must be a number")?,
+            };
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(format!("field \"scale\" must be > 0, got {scale}"));
+            }
+            let seed = match v.get("seed") {
+                None => 0,
+                Some(s) => s.as_u64().ok_or("field \"seed\" must be a non-negative integer")?,
+            };
+            let utilization = optional_finite_f32(&v, "utilization", 0.7)?;
+            // `optional_finite_f32` already rejected NaN/inf.
+            if utilization <= 0.0 || utilization > 1.0 {
+                return Err(format!(
+                    "field \"utilization\" must be in (0, 1], got {utilization}"
+                ));
+            }
+            let clock_period_ns = optional_finite_f32(&v, "clock_period_ns", 2.0)?;
+            if clock_period_ns <= 0.0 {
+                return Err(format!(
+                    "field \"clock_period_ns\" must be > 0, got {clock_period_ns}"
+                ));
+            }
+            let depth = match v.get("depth") {
+                None => None,
+                Some(d) => {
+                    let d = d.as_u64().ok_or("field \"depth\" must be a non-negative integer")?;
+                    Some(
+                        usize::try_from(d)
+                            .map_err(|_| format!("field \"depth\" {d} overflows usize"))?,
+                    )
+                }
+            };
+            Request::Register {
+                spec: RegisterSpec {
+                    name,
+                    design,
+                    scale,
+                    seed,
+                    utilization,
+                    clock_period_ns,
+                    depth,
+                },
+            }
         }
         "reload" => Request::Reload {
             path: v.get("path").and_then(JsonValue::as_str).map(str::to_string),
@@ -181,6 +288,49 @@ pub fn error_reply(id: Option<u64>, kind: &str, detail: &str) -> String {
     )
 }
 
+/// Re-addresses a rendered reply from one request id to another.
+///
+/// Replies are a pure function of `(id, body)` — the id is the only
+/// per-request byte in an `ok_reply`/`error_reply` — so swapping the id
+/// prefix yields exactly the bytes the same body would have rendered
+/// under the other id. The batch executor uses this to fan one shared
+/// execution back out to every identical read-only query in a batch.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `reply` was not rendered under `from`.
+pub fn readdress_reply(reply: &str, from: Option<u64>, to: Option<u64>) -> String {
+    let old = format!("{{{}", id_field(from));
+    debug_assert!(
+        reply.starts_with(&old),
+        "reply {reply:?} was not addressed to {from:?}"
+    );
+    format!("{{{}{}", id_field(to), &reply[old.len()..])
+}
+
+/// Renders a `register` request line for `spec` — the canonical client
+/// side of the wire format (used by the scenarios serve evaluator and
+/// tests so every producer emits identical bytes for identical specs).
+pub fn register_line(id: Option<u64>, spec: &RegisterSpec) -> String {
+    let mut line = String::from("{");
+    line.push_str(&id_field(id));
+    line.push_str("\"op\":\"register\",");
+    line.push_str(&format!("\"name\":{},", escape(&spec.name)));
+    line.push_str(&format!("\"design\":{},", escape(&spec.design)));
+    line.push_str(&format!("\"scale\":{},", fmt_f64(spec.scale)));
+    line.push_str(&format!("\"seed\":{},", spec.seed));
+    line.push_str(&format!("\"utilization\":{},", fmt_f64(f64::from(spec.utilization))));
+    line.push_str(&format!(
+        "\"clock_period_ns\":{}",
+        fmt_f64(f64::from(spec.clock_period_ns))
+    ));
+    if let Some(depth) = spec.depth {
+        line.push_str(&format!(",\"depth\":{depth}"));
+    }
+    line.push('}');
+    line
+}
+
 /// Renders a float array as a deterministic JSON array (each `f32`
 /// widened exactly to `f64`).
 pub fn f32_array(values: &[f32]) -> String {
@@ -199,6 +349,25 @@ pub fn f32_array(values: &[f32]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn readdress_swaps_exactly_the_id_prefix() {
+        let body = "\"design\":\"spm\",\"pins\":42";
+        let under_4 = ok_reply(Some(4), body);
+        assert_eq!(readdress_reply(&under_4, Some(4), Some(9)), ok_reply(Some(9), body));
+        assert_eq!(readdress_reply(&under_4, Some(4), None), ok_reply(None, body));
+        let anon = error_reply(None, "bad_request", "nope");
+        assert_eq!(
+            readdress_reply(&anon, None, Some(7)),
+            error_reply(Some(7), "bad_request", "nope")
+        );
+        // The id value itself is untouched even when it appears in the body.
+        let tricky = ok_reply(Some(4), "\"echo\":\"id\\\":4\"");
+        assert_eq!(
+            readdress_reply(&tricky, Some(4), Some(5)),
+            ok_reply(Some(5), "\"echo\":\"id\\\":4\"")
+        );
+    }
 
     #[test]
     fn parses_every_op() {
@@ -245,6 +414,96 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "must reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_coordinates_that_overflow_f32() {
+        // 1e40 is a perfectly finite f64 but narrows to f32::INFINITY;
+        // before the fix it reached the session layer as an inf move.
+        for bad in [
+            r#"{"op":"move_pins","design":"d","moves":[{"pin":0,"x":1e40,"y":0}]}"#,
+            r#"{"op":"move_pins","design":"d","moves":[{"pin":0,"x":0,"y":-1e39}]}"#,
+        ] {
+            let err = parse_request(bad).expect_err("overflowing coord must be rejected");
+            assert!(err.contains("overflows f32"), "diagnostic names the cast: {err}");
+            assert!(err.contains("moves[0]"), "diagnostic names the index: {err}");
+        }
+        // Values at the very edge of f32 still pass.
+        let line = format!(
+            r#"{{"op":"move_pins","design":"d","moves":[{{"pin":0,"x":{},"y":0}}]}}"#,
+            f32::MAX
+        );
+        let e = parse_request(&line).expect("f32::MAX is representable");
+        match e.request {
+            Request::MovePins { moves, .. } => assert_eq!(moves[0].x, f32::MAX),
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_parses_defaults_and_validates_ranges() {
+        let e = parse_request(r#"{"op":"register","design":"spm"}"#).expect("valid");
+        match e.request {
+            Request::Register { spec } => {
+                assert_eq!(spec.name, "spm");
+                assert_eq!(spec.design, "spm");
+                assert_eq!(spec.scale, 0.01);
+                assert_eq!(spec.seed, 0);
+                assert_eq!(spec.utilization, 0.7);
+                assert_eq!(spec.clock_period_ns, 2.0);
+                assert_eq!(spec.depth, None);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        let e = parse_request(
+            r#"{"op":"register","name":"c3","design":"usb","scale":0.02,"seed":7,"utilization":0.5,"clock_period_ns":1.5,"depth":6,"id":4}"#,
+        )
+        .expect("valid");
+        assert_eq!(e.id, Some(4));
+        match e.request {
+            Request::Register { spec } => {
+                assert_eq!(spec.name, "c3");
+                assert_eq!(spec.design, "usb");
+                assert_eq!(spec.scale, 0.02);
+                assert_eq!(spec.seed, 7);
+                assert_eq!(spec.utilization, 0.5);
+                assert_eq!(spec.clock_period_ns, 1.5);
+                assert_eq!(spec.depth, Some(6));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        for bad in [
+            r#"{"op":"register"}"#,
+            r#"{"op":"register","design":"spm","name":""}"#,
+            r#"{"op":"register","design":"spm","scale":0}"#,
+            r#"{"op":"register","design":"spm","scale":-0.5}"#,
+            r#"{"op":"register","design":"spm","utilization":0}"#,
+            r#"{"op":"register","design":"spm","utilization":1.5}"#,
+            r#"{"op":"register","design":"spm","clock_period_ns":0}"#,
+            r#"{"op":"register","design":"spm","clock_period_ns":1e40}"#,
+            r#"{"op":"register","design":"spm","seed":-1}"#,
+            r#"{"op":"register","design":"spm","depth":1.5}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn register_line_roundtrips_through_the_parser() {
+        let spec = RegisterSpec {
+            name: "c9".into(),
+            design: "aes".into(),
+            scale: 0.015,
+            seed: 42,
+            utilization: 0.65,
+            clock_period_ns: 2.5,
+            depth: Some(5),
+        };
+        let line = register_line(Some(11), &spec);
+        tp_obs::json::validate(&line).expect("register line must be valid JSON");
+        let e = parse_request(&line).expect("valid");
+        assert_eq!(e.id, Some(11));
+        assert_eq!(e.request, Request::Register { spec });
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use tp_data::{DesignGraph, PinMove};
-use tp_gnn::{IncrementalGnn, Prediction, UpdateStats};
+use tp_gnn::{IncrementalGnn, PropPlan, Prediction, UpdateStats};
 use tp_graph::GraphError;
 use tp_place::Placement;
 
@@ -23,6 +23,9 @@ pub struct DesignSession {
     inc: IncrementalGnn,
     snapshot_version: u64,
     tainted: bool,
+    /// Content hash of the `register` spec this session was built from
+    /// (`None` for in-process registrations).
+    content_hash: Option<u64>,
 }
 
 impl DesignSession {
@@ -38,7 +41,33 @@ impl DesignSession {
             inc: IncrementalGnn::new(Arc::clone(&snapshot.model), design, placement),
             snapshot_version: snapshot.version,
             tainted: false,
+            content_hash: None,
         }
+    }
+
+    /// Builds the session from a pre-levelized plan (the registry caches
+    /// `DesignGraph` + `PropPlan` per content hash, so wire registrations
+    /// skip the plan rebuild). Still runs one full forward pass.
+    pub fn with_plan(
+        name: &str,
+        snapshot: &ModelSnapshot,
+        design: DesignGraph,
+        placement: Placement,
+        plan: PropPlan,
+        content_hash: Option<u64>,
+    ) -> DesignSession {
+        DesignSession {
+            name: name.to_string(),
+            inc: IncrementalGnn::with_plan(Arc::clone(&snapshot.model), design, placement, plan),
+            snapshot_version: snapshot.version,
+            tainted: false,
+            content_hash,
+        }
+    }
+
+    /// Content hash of the wire `register` spec, if any.
+    pub fn content_hash(&self) -> Option<u64> {
+        self.content_hash
     }
 
     /// The registered name.
@@ -70,10 +99,13 @@ impl DesignSession {
             return;
         }
         // DesignGraph::clone shares tensor storage; that is sound here
-        // because the old engine is dropped in the same assignment.
+        // because the old engine is dropped in the same assignment. The
+        // plan depends only on design topology, which ECO moves never
+        // change, so the rebuild reuses it instead of re-levelizing.
         let design = self.inc.design().clone();
         let placement = self.inc.placement().clone();
-        self.inc = IncrementalGnn::new(Arc::clone(&snapshot.model), design, placement);
+        let plan = self.inc.plan().clone();
+        self.inc = IncrementalGnn::with_plan(Arc::clone(&snapshot.model), design, placement, plan);
         self.snapshot_version = snapshot.version;
         self.tainted = false;
         tp_obs::metrics::count("serve.session_rebuilds", 1);
@@ -129,7 +161,7 @@ mod tests {
     #[test]
     fn rebuild_preserves_eco_edits_and_tracks_snapshot() {
         let cfg = small_config();
-        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed");
+        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed").expect("boot");
         let (design, placement) = fixture();
         let die = *placement.die();
         let mut session = DesignSession::new("spm", &store.current(), design, placement);

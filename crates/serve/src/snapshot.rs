@@ -40,6 +40,8 @@ pub enum SnapshotError {
     Params(String),
     /// No valid checkpoint exists in the snapshot directory.
     NoneFound(PathBuf),
+    /// Serializing model weights for checksumming failed.
+    Serialize(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -50,6 +52,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::NoneFound(dir) => {
                 write!(f, "no valid checkpoint in {}", dir.display())
             }
+            SnapshotError::Serialize(e) => write!(f, "snapshot serialization failed: {e}"),
         }
     }
 }
@@ -57,6 +60,12 @@ impl fmt::Display for SnapshotError {
 impl From<CheckpointError> for SnapshotError {
     fn from(e: CheckpointError) -> SnapshotError {
         SnapshotError::Checkpoint(e)
+    }
+}
+
+impl From<tp_nn::SerializeError> for SnapshotError {
+    fn from(e: tp_nn::SerializeError) -> SnapshotError {
+        SnapshotError::Serialize(format!("{e:?}"))
     }
 }
 
@@ -69,11 +78,17 @@ pub struct SnapshotStore {
 }
 
 impl SnapshotStore {
-    /// Boots the store with `initial` weights (version 1).
-    pub fn new(config: ModelConfig, initial: TimingGnn, source: &str) -> SnapshotStore {
+    /// Boots the store with `initial` weights (version 1). Serialization
+    /// of the boot weights (for the checksum) is fallible: an oversized or
+    /// otherwise unserializable parameter set degrades into a structured
+    /// [`SnapshotError::Serialize`] instead of panicking the caller.
+    pub fn new(
+        config: ModelConfig,
+        initial: TimingGnn,
+        source: &str,
+    ) -> Result<SnapshotStore, SnapshotError> {
         let mut blob = Vec::new();
-        tp_nn::save_parameters(&initial.parameters(), &mut blob)
-            .expect("in-memory serialization cannot fail");
+        tp_nn::save_parameters(&initial.parameters(), &mut blob)?;
         let snapshot = Arc::new(ModelSnapshot {
             model: Arc::new(initial),
             version: 1,
@@ -81,11 +96,11 @@ impl SnapshotStore {
             checksum: fnv1a64(&blob),
             source: source.to_string(),
         });
-        SnapshotStore {
+        Ok(SnapshotStore {
             current: RwLock::new(snapshot),
             next_version: AtomicU64::new(2),
             config,
-        }
+        })
     }
 
     /// The architecture every accepted checkpoint must match.
@@ -176,9 +191,33 @@ mod tests {
     }
 
     #[test]
+    fn serialization_failure_degrades_to_structured_error() {
+        // A writer that always fails stands in for an unserializable
+        // parameter set; the error must convert into the structured
+        // `Serialize` variant (the request path renders it as a reply)
+        // instead of the old `.expect` panic that killed the worker.
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("injected write failure"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = small_config();
+        let err = tp_nn::save_parameters(&TimingGnn::new(&cfg).parameters(), &mut FailingWriter)
+            .expect_err("failing writer must surface an error");
+        let snap_err = SnapshotError::from(err);
+        assert!(matches!(snap_err, SnapshotError::Serialize(_)), "got {snap_err:?}");
+        let msg = snap_err.to_string();
+        assert!(msg.contains("snapshot serialization failed"), "display: {msg}");
+    }
+
+    #[test]
     fn hot_swap_publishes_new_version() {
         let cfg = small_config();
-        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed");
+        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed").expect("boot");
         assert_eq!(store.current().version, 1);
         let dir = scratch("swap");
         let trained = TimingGnn::new(&ModelConfig { seed: 99, ..cfg });
@@ -198,7 +237,7 @@ mod tests {
     #[test]
     fn corrupt_checkpoint_is_rejected_and_old_snapshot_keeps_serving() {
         let cfg = small_config();
-        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed");
+        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed").expect("boot");
         let before = store.current();
         let dir = scratch("corrupt");
         let path = checkpoint_path(&dir, 1);
@@ -219,7 +258,7 @@ mod tests {
     #[test]
     fn wrong_architecture_blob_is_rejected() {
         let cfg = small_config();
-        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed");
+        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed").expect("boot");
         let dir = scratch("arch");
         let other = TimingGnn::new(&ModelConfig { embed_dim: 8, ..cfg });
         let path = checkpoint_path(&dir, 2);
@@ -233,7 +272,7 @@ mod tests {
     #[test]
     fn load_latest_skips_corrupt_newer_files() {
         let cfg = small_config();
-        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed");
+        let store = SnapshotStore::new(cfg.clone(), TimingGnn::new(&cfg), "seed").expect("boot");
         let dir = scratch("latest");
         let good = TimingGnn::new(&ModelConfig { seed: 5, ..cfg.clone() });
         checkpoint_for(&good, 1)
@@ -249,6 +288,7 @@ mod tests {
         }
         assert!(matches!(
             SnapshotStore::new(small_config(), TimingGnn::new(&small_config()), "seed")
+                .expect("boot")
                 .load_latest(&scratch("empty")),
             Err(SnapshotError::NoneFound(_))
         ));

@@ -17,7 +17,7 @@ use tp_gen::{generate, GeneratorConfig, BENCHMARKS};
 use tp_gnn::{Checkpoint, FaultPlan, ModelConfig, RequestFault, TimingGnn};
 use tp_liberty::Library;
 use tp_place::{place_circuit, Placement, PlacementConfig};
-use tp_serve::{Client, JsonValue, ServeConfig, Server};
+use tp_serve::{register_line, Client, JsonValue, RegisterSpec, ServeConfig, Server};
 use tp_sta::flow::run_full_flow;
 use tp_sta::StaConfig;
 
@@ -54,6 +54,9 @@ fn serve_config(queue_depth: usize, deadline_ms: u64, faults: FaultPlan) -> Serv
         queue_depth,
         deadline_ms,
         snapshot_dir: None,
+        batch_window_us: 0,
+        batch_max: 16,
+        lib_seed: 0,
         model_config: small_config(),
         faults,
         fault_seed: 42,
@@ -198,6 +201,66 @@ fn deadline_discards_late_result_and_retry_is_idempotent() {
 }
 
 #[test]
+fn zero_deadline_disables_the_timer() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // Request 1 is slowed far past the old 50ms floor. With
+    // `TP_REQ_DEADLINE_MS=0` (deadlines disabled) the late result must
+    // be served, not discarded: 0 means "off", not "0ms budget".
+    let faults = FaultPlan::none().with_request_fault(1, RequestFault::Slow { ms: 300 });
+    let server = start(serve_config(8, 0, faults));
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let before = roundtrip(&mut client, r#"{"op":"predict","design":"spm","id":1}"#);
+    assert_ok(&before);
+    let hash = get_str(&before, "prediction_hash");
+
+    // The slowed request: takes ~300ms, still succeeds bit-identically.
+    let slow = roundtrip(&mut client, r#"{"op":"predict","design":"spm","id":2}"#);
+    assert_ok(&slow);
+    assert_eq!(get_str(&slow, "prediction_hash"), hash);
+
+    let report = server.shutdown();
+    assert_eq!(report.timed_out, 0, "no deadline may fire when disabled");
+    assert_eq!(report.served, 2);
+}
+
+#[test]
+fn wire_registered_session_survives_panic_and_rebuilds_from_plan() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let server = start(serve_config(8, 30_000, FaultPlan::none()));
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Register a design through the wire: this session carries a cached
+    // content hash and a reusable levelized plan.
+    let spec = RegisterSpec {
+        name: "usb".to_string(),
+        design: "usb".to_string(),
+        scale: 0.01,
+        seed: 7,
+        utilization: 0.7,
+        clock_period_ns: 2.0,
+        depth: None,
+    };
+    let registered = roundtrip(&mut client, &register_line(Some(1), &spec));
+    assert_ok(&registered);
+
+    let before = roundtrip(&mut client, r#"{"op":"predict","design":"usb","id":2}"#);
+    assert_ok(&before);
+    let hash = get_str(&before, "prediction_hash");
+
+    // Panic while holding the registered session's lock, then verify the
+    // quarantined session rebuilds (reusing its plan) to bit-exact state.
+    let boom = roundtrip(&mut client, r#"{"op":"debug_panic","design":"usb","id":3}"#);
+    assert_error(&boom, "panic");
+    let after = roundtrip(&mut client, r#"{"op":"predict","design":"usb","id":4}"#);
+    assert_ok(&after);
+    assert_eq!(get_str(&after, "prediction_hash"), hash);
+
+    let report = server.shutdown();
+    assert_eq!(report.panicked, 1);
+}
+
+#[test]
 fn panicking_handler_is_isolated_and_session_rebuilds() {
     let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     let server = start(serve_config(8, 30_000, FaultPlan::none()));
@@ -278,6 +341,17 @@ fn hot_swap_over_the_wire_and_corrupt_checkpoint_rejection() {
     assert_ok(&still);
     assert_eq!(still.get("snapshot_version").and_then(JsonValue::as_u64), Some(2));
     assert_eq!(get_str(&still, "prediction_hash"), hash_v2);
+
+    // A path that cannot be read at all degrades to the same structured
+    // refusal — never a panic, never a torn snapshot swap.
+    let unreadable = roundtrip(
+        &mut client,
+        r#"{"op":"reload","path":"/nonexistent/nope.tpck","id":6}"#,
+    );
+    assert_error(&unreadable, "snapshot_rejected");
+    let alive = roundtrip(&mut client, r#"{"op":"predict","design":"spm","id":7}"#);
+    assert_ok(&alive);
+    assert_eq!(get_str(&alive, "prediction_hash"), hash_v2);
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -56,6 +56,12 @@ cargo test -q -p tp-serve --offline --release --test fuzz_codec
 cargo test -q -p tp-serve --offline --release --test robustness
 cargo test -q --offline --release --test serve
 
+echo "== tier1: batching equivalence suite (release, both pool widths) =="
+# Coalesced replies must be bit-identical to serial ones at every batch
+# window and thread count — the batching determinism contract.
+TP_THREADS=1 cargo test -q -p tp-serve --offline --release --test batching
+TP_THREADS=4 cargo test -q -p tp-serve --offline --release --test batching
+
 echo "== tier1: serve loopback smoke (example, scratch dir) =="
 # Boot a real server on an ephemeral port and drive the full lifecycle —
 # ping, predict, slack, checkpoint hot-swap, ECO move, stats, drain. The
@@ -80,6 +86,19 @@ if ! TP_SWEEP_OUT="$SWEEP_SCRATCH/demo" \
     exit 1
 fi
 rm -rf "$SWEEP_SCRATCH"
+
+echo "== tier1: sweep-through-serve smoke (example, scratch dir) =="
+# The same grid evaluated in-process and streamed through a live batched
+# server over JSONL; exits nonzero unless journal and report come back
+# byte-identical — the serve-streaming contract, exercised end to end.
+SERVE_SWEEP_SCRATCH="$(mktemp -d)"
+if ! TP_SWEEP_OUT="$SERVE_SWEEP_SCRATCH/demo" \
+    cargo run -q --offline --release --example sweep_serve >/dev/null; then
+    rm -rf "$SERVE_SWEEP_SCRATCH"
+    echo "tier1: FAIL — sweep-through-serve smoke broke the streaming contract" >&2
+    exit 1
+fi
+rm -rf "$SERVE_SWEEP_SCRATCH"
 
 echo "== tier1: clippy (warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
